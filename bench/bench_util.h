@@ -1,0 +1,31 @@
+// Shared plumbing for the figure-reproduction harnesses.
+
+#ifndef OSCAR_BENCH_BENCH_UTIL_H_
+#define OSCAR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiments.h"
+
+namespace oscar::bench {
+
+/// Prints the standard experiment banner (figure id, scale, seed).
+void PrintHeader(const std::string& figure, const std::string& summary,
+                 const ExperimentScale& scale);
+
+/// Prints one `# shape-check:` trailer line. Every harness verifies its
+/// qualitative claims programmatically so a regression is visible in
+/// plain bench output (and greppable by CI).
+void ShapeCheck(const std::string& claim, bool holds);
+
+/// Exit code helper: 0 when all shape checks passed so far, 1 otherwise.
+int ExitCode();
+
+/// Arrange SearchCostRow series into a size-by-series table and print.
+void PrintSearchCostTable(const std::string& title,
+                          const std::vector<SearchCostRow>& rows);
+
+}  // namespace oscar::bench
+
+#endif  // OSCAR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,162 @@
+// Micro-benchmarks (google-benchmark): hot-path costs of the simulator
+// substrate — ring queries, routing, sampling, partitioning, link
+// construction. These guard against performance regressions that would
+// make the paper-scale harnesses impractically slow.
+
+#include <benchmark/benchmark.h>
+
+#include "keyspace/gnutella_distribution.h"
+#include "overlay/kleinberg/kleinberg_overlay.h"
+#include "overlay/oscar/oscar_overlay.h"
+#include "routing/backtracking_router.h"
+#include "routing/greedy_router.h"
+#include "sampling/oracle_sampler.h"
+#include "sampling/random_walk_sampler.h"
+#include "churn/churn.h"
+
+namespace oscar {
+namespace {
+
+Network MakeLinkedNetwork(size_t n, uint64_t seed) {
+  Network net;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{27, 27});
+  }
+  KleinbergOverlay overlay;
+  for (PeerId id : net.AlivePeers()) {
+    (void)overlay.BuildLinks(&net, id, &rng);
+  }
+  return net;
+}
+
+void BM_RingOwnerLookup(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(static_cast<size_t>(state.range(0)), 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    auto owner = net.OwnerOf(KeyId::FromUnit(rng.NextDouble()));
+    benchmark::DoNotOptimize(owner);
+  }
+}
+BENCHMARK(BM_RingOwnerLookup)->Arg(1000)->Arg(10000);
+
+void BM_RingSegmentCount(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(static_cast<size_t>(state.range(0)), 3);
+  Rng rng(4);
+  for (auto _ : state) {
+    const KeyId from = KeyId::FromUnit(rng.NextDouble());
+    const KeyId to = KeyId::FromUnit(rng.NextDouble());
+    benchmark::DoNotOptimize(net.ring().CountInSegment(from, to));
+  }
+}
+BENCHMARK(BM_RingSegmentCount)->Arg(10000);
+
+void BM_GreedyRoute(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(static_cast<size_t>(state.range(0)), 5);
+  GreedyRouter router;
+  Rng rng(6);
+  const std::vector<PeerId> peers = net.AlivePeers();
+  for (auto _ : state) {
+    const PeerId source =
+        peers[static_cast<size_t>(rng.UniformInt(peers.size()))];
+    const RouteResult r =
+        router.Route(net, source, KeyId::FromUnit(rng.NextDouble()));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GreedyRoute)->Arg(1000)->Arg(10000);
+
+void BM_BacktrackingRouteUnderChurn(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(10000, 7);
+  Rng churn_rng(8);
+  (void)CrashFraction(&net, 0.33, &churn_rng);
+  BacktrackingRouter router;
+  Rng rng(9);
+  const std::vector<PeerId> peers = net.AlivePeers();
+  for (auto _ : state) {
+    const PeerId source =
+        peers[static_cast<size_t>(rng.UniformInt(peers.size()))];
+    const RouteResult r =
+        router.Route(net, source, KeyId::FromUnit(rng.NextDouble()));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BacktrackingRouteUnderChurn);
+
+void BM_OracleSegmentSample(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(10000, 10);
+  OracleSegmentSampler sampler;
+  Rng rng(11);
+  for (auto _ : state) {
+    auto s = sampler.SampleInSegment(net, 0, KeyId::FromUnit(0.1),
+                                     KeyId::FromUnit(0.9), &rng);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_OracleSegmentSample);
+
+void BM_RandomWalkSegmentSample(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(10000, 12);
+  RandomWalkSegmentSampler sampler;
+  Rng rng(13);
+  for (auto _ : state) {
+    auto s = sampler.SampleInSegment(net, 0, KeyId::FromUnit(0.1),
+                                     KeyId::FromUnit(0.9), &rng);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_RandomWalkSegmentSample);
+
+void BM_OscarPartitioning(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(10000, 14);
+  OscarOverlay overlay;
+  Rng rng(15);
+  const std::vector<PeerId> peers = net.AlivePeers();
+  for (auto _ : state) {
+    const PeerId u =
+        peers[static_cast<size_t>(rng.UniformInt(peers.size()))];
+    auto parts = overlay.partitioner().ComputePartitions(net, u, &rng);
+    benchmark::DoNotOptimize(parts);
+  }
+}
+BENCHMARK(BM_OscarPartitioning);
+
+void BM_OscarBuildLinks(benchmark::State& state) {
+  Network net = MakeLinkedNetwork(10000, 16);
+  OscarOverlay overlay;
+  Rng rng(17);
+  const std::vector<PeerId> peers = net.AlivePeers();
+  for (auto _ : state) {
+    const PeerId u =
+        peers[static_cast<size_t>(rng.UniformInt(peers.size()))];
+    net.ClearLongLinks(u);
+    benchmark::DoNotOptimize(overlay.BuildLinks(&net, u, &rng));
+  }
+}
+BENCHMARK(BM_OscarBuildLinks);
+
+void BM_NetworkJoin(benchmark::State& state) {
+  Rng rng(18);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net = MakeLinkedNetwork(1000, rng.Next());
+    state.ResumeTiming();
+    for (int i = 0; i < 100; ++i) {
+      net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{27, 27});
+    }
+    benchmark::DoNotOptimize(net.alive_count());
+  }
+}
+BENCHMARK(BM_NetworkJoin)->Unit(benchmark::kMicrosecond);
+
+void BM_GnutellaSample(benchmark::State& state) {
+  auto dist = GnutellaKeyDistribution::Make();
+  Rng rng(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.value().Sample(&rng));
+  }
+}
+BENCHMARK(BM_GnutellaSample);
+
+}  // namespace
+}  // namespace oscar
