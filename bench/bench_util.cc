@@ -34,9 +34,12 @@ int ExitCode() { return g_all_checks_passed ? 0 : 1; }
 
 void PrintSearchCostTable(const std::string& title,
                           const std::vector<SearchCostRow>& rows) {
-  // Collect axes: x = network size, one column per (series, churn).
+  // Collect axes: x = network size, one column per (series, churn),
+  // columns in first-seen order with their labels built in the same
+  // pass so headers and data can never desynchronize.
   std::set<size_t> sizes;
-  std::vector<std::string> columns;  // Insertion-ordered unique.
+  std::vector<std::pair<std::string, double>> column_keys;
+  std::vector<std::string> columns;  // Parallel to column_keys.
   std::map<std::pair<std::string, double>, std::map<size_t, double>> data;
   for (const SearchCostRow& row : rows) {
     sizes.insert(row.network_size);
@@ -47,24 +50,13 @@ void PrintSearchCostTable(const std::string& title,
         label += StrCat("@", FormatDouble(row.churn_fraction * 100, 0),
                         "%crash");
       }
-      columns.push_back(label);
+      column_keys.push_back(key);
+      columns.push_back(std::move(label));
     }
     data[key][row.network_size] = row.avg_cost;
   }
   TablePrinter table(title);
   std::vector<std::string> header = {"network_size"};
-  std::vector<std::pair<std::string, double>> column_keys;
-  for (const SearchCostRow& row : rows) {
-    const auto key = std::make_pair(row.series, row.churn_fraction);
-    bool seen = false;
-    for (const auto& existing : column_keys) {
-      if (existing == key) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) column_keys.push_back(key);
-  }
   for (const std::string& label : columns) header.push_back(label);
   table.SetHeader(std::move(header));
   for (size_t size : sizes) {

@@ -1,4 +1,23 @@
 // Shared plumbing for the figure-reproduction harnesses.
+//
+// Every harness follows the same output contract:
+//
+//   1. `PrintHeader` emits a `#`-prefixed banner naming the figure, a
+//      one-line summary, and the resolved ExperimentScale (so a saved
+//      log is self-describing and reproducible: size, queries, seed).
+//   2. The harness prints its tables, then verifies each qualitative
+//      claim of the paper programmatically via `ShapeCheck`.
+//   3. Each check emits exactly one trailer line of the form
+//          # shape-check: <claim> ... OK|VIOLATED
+//      so a regression is visible in plain bench output and greppable
+//      by CI (`grep "shape-check.*VIOLATED"`).
+//   4. `main` returns `ExitCode()`: 0 iff every ShapeCheck in the
+//      process passed, 1 otherwise. Harnesses reserve exit code 2 for
+//      infrastructure failures (an experiment returning an error
+//      Status), distinct from a clean run with violated claims.
+//
+// This header is self-contained on top of core/experiments.h — it pulls
+// in the ExperimentScale/row types the signatures below need.
 
 #ifndef OSCAR_BENCH_BENCH_UTIL_H_
 #define OSCAR_BENCH_BENCH_UTIL_H_
@@ -16,7 +35,8 @@ void PrintHeader(const std::string& figure, const std::string& summary,
 
 /// Prints one `# shape-check:` trailer line. Every harness verifies its
 /// qualitative claims programmatically so a regression is visible in
-/// plain bench output (and greppable by CI).
+/// plain bench output (and greppable by CI). A failed check latches the
+/// process-wide state consumed by `ExitCode`.
 void ShapeCheck(const std::string& claim, bool holds);
 
 /// Exit code helper: 0 when all shape checks passed so far, 1 otherwise.

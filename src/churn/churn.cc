@@ -1,0 +1,63 @@
+#include "churn/churn.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace oscar {
+
+Result<size_t> CrashFraction(Network* net, double fraction, Rng* rng) {
+  if (fraction < 0.0 || fraction >= 1.0) {
+    return Status::Error(
+        StrCat("crash fraction must be in [0, 1), got ", fraction));
+  }
+  std::vector<PeerId> alive = net->AlivePeers();
+  size_t to_crash = static_cast<size_t>(
+      fraction * static_cast<double>(alive.size()));
+  to_crash = std::min(to_crash, alive.size() > 0 ? alive.size() - 1 : 0);
+  // Partial Fisher-Yates: the first `to_crash` entries become a uniform
+  // sample without replacement.
+  for (size_t i = 0; i < to_crash; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng->UniformInt(alive.size() - i));
+    std::swap(alive[i], alive[j]);
+    net->Crash(alive[i]);
+  }
+  return to_crash;
+}
+
+Result<RollingChurnReport> RollingChurn(Network* net,
+                                        const RollingChurnOptions& options,
+                                        const KeyDistribution& keys,
+                                        const DegreeDistribution& degrees,
+                                        const RebuildFn& rebuild, Rng* rng) {
+  if (options.rounds < 0) {
+    return Status::Error("rolling churn: negative round count");
+  }
+  if (!rebuild) {
+    return Status::Error("rolling churn: missing rebuild callback");
+  }
+  RollingChurnReport report;
+  for (int round = 0; round < options.rounds; ++round) {
+    std::vector<PeerId> alive = net->AlivePeers();
+    const size_t leaves = std::min(
+        options.leaves_per_round,
+        alive.size() > 1 ? alive.size() - 1 : 0);
+    for (size_t i = 0; i < leaves; ++i) {
+      const size_t j =
+          i + static_cast<size_t>(rng->UniformInt(alive.size() - i));
+      std::swap(alive[i], alive[j]);
+      net->Crash(alive[i]);
+      ++report.left;
+    }
+    for (size_t i = 0; i < options.joins_per_round; ++i) {
+      const PeerId id = net->Join(keys.Sample(rng), degrees.Sample(rng));
+      const Status status = rebuild(net, id, rng);
+      if (!status.ok()) return status;
+      ++report.joined;
+    }
+  }
+  return report;
+}
+
+}  // namespace oscar

@@ -1,0 +1,46 @@
+// Churn processes: one-shot crash waves (the paper's Fig 2 setup) and a
+// continuous leave/join process for steady-state experiments (X8).
+
+#ifndef OSCAR_CHURN_CHURN_H_
+#define OSCAR_CHURN_CHURN_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "core/network.h"
+#include "degree/degree_distribution.h"
+#include "keyspace/key_distribution.h"
+
+namespace oscar {
+
+/// Crashes floor(fraction * alive) uniformly chosen peers, always
+/// leaving at least one alive. Returns the number crashed. Fails when
+/// fraction is outside [0, 1).
+Result<size_t> CrashFraction(Network* net, double fraction, Rng* rng);
+
+struct RollingChurnOptions {
+  size_t leaves_per_round = 0;
+  size_t joins_per_round = 0;
+  int rounds = 1;
+};
+
+struct RollingChurnReport {
+  size_t left = 0;
+  size_t joined = 0;
+};
+
+/// Called for each joining peer to wire it into the overlay.
+using RebuildFn = std::function<Status(Network*, PeerId, Rng*)>;
+
+/// Runs `rounds` rounds of `leaves_per_round` crashes followed by
+/// `joins_per_round` joins (keys and degree budgets sampled from the
+/// given distributions, each new peer wired via `rebuild`).
+Result<RollingChurnReport> RollingChurn(Network* net,
+                                        const RollingChurnOptions& options,
+                                        const KeyDistribution& keys,
+                                        const DegreeDistribution& degrees,
+                                        const RebuildFn& rebuild, Rng* rng);
+
+}  // namespace oscar
+
+#endif  // OSCAR_CHURN_CHURN_H_

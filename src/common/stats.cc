@@ -1,0 +1,81 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace oscar {
+
+RunningStats::RunningStats()
+    : count_(0),
+      mean_(0.0),
+      m2_(0.0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::Push(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::Variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::max(0.0, std::min(100.0, pct));
+  const double pos = clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Gini(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double cumulative = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    cumulative += sorted[i];
+    weighted += sorted[i] * static_cast<double>(i + 1);
+  }
+  if (cumulative <= 0.0) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  return (2.0 * weighted) / (n * cumulative) - (n + 1.0) / n;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double cov = 0, vx = 0, vy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    cov += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace oscar

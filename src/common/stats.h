@@ -1,0 +1,44 @@
+// Small statistics helpers shared by the metrics and experiment layers.
+
+#ifndef OSCAR_COMMON_STATS_H_
+#define OSCAR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace oscar {
+
+/// Welford-style accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  RunningStats();
+
+  void Push(double x);
+  size_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  size_t count_;
+  double mean_;
+  double m2_;
+  double min_;
+  double max_;
+};
+
+/// Percentile in [0, 100] by linear interpolation; 0 for empty input.
+double Percentile(std::vector<double> values, double pct);
+
+/// Gini coefficient of a non-negative sample; 0 for empty/degenerate input.
+double Gini(const std::vector<double>& values);
+
+/// Pearson correlation; 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace oscar
+
+#endif  // OSCAR_COMMON_STATS_H_

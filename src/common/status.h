@@ -1,0 +1,74 @@
+// Lightweight error propagation used throughout the oscar:: library.
+//
+// `Status` carries ok/error + a message; `Result<T>` is a Status-or-value
+// union supporting the `r.ok() / r.status() / r.value()` idiom the bench
+// harnesses are written against.
+
+#ifndef OSCAR_COMMON_STATUS_H_
+#define OSCAR_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace oscar {
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << (status.ok() ? "OK" : status.message());
+}
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from an OK status");
+    if (status_.ok()) status_ = Status::Error("unknown error");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_COMMON_STATUS_H_

@@ -1,0 +1,19 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <iomanip>
+
+namespace oscar {
+
+std::string FormatDouble(double value, int digits) {
+  if (value == 0.0) value = 0.0;  // Collapse -0.0.
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatDouble(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace oscar

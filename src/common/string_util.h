@@ -1,0 +1,28 @@
+// Formatting helpers used by the metrics tables and bench harnesses.
+
+#ifndef OSCAR_COMMON_STRING_UTIL_H_
+#define OSCAR_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+
+namespace oscar {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Fixed-point rendering with `digits` decimals, e.g. FormatDouble(3.14159, 2)
+/// == "3.14". Negative zero is normalized to "0".
+std::string FormatDouble(double value, int digits);
+
+/// Renders a fraction as a percentage, e.g. FormatPercent(0.853) == "85.3%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace oscar
+
+#endif  // OSCAR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,61 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/string_util.h"
+
+namespace oscar {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::string& label,
+                                 const std::vector<double>& values,
+                                 int digits) {
+  std::vector<std::string> row = {label};
+  row.reserve(values.size() + 1);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell
+         << " | ";
+    }
+    os << "\n";
+  };
+
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+  os << "\n-- " << title_ << " --\n";
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace oscar

@@ -1,0 +1,32 @@
+// Column-aligned plain-text tables for the bench harnesses.
+
+#ifndef OSCAR_COMMON_TABLE_PRINTER_H_
+#define OSCAR_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oscar {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title);
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: a row whose first cell is `label` and whose remaining
+  /// cells are `values` rendered with `digits` decimals.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int digits);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,108 @@
+// The experiment layer the figure harnesses are written against:
+// env-tunable scale, named overlay factories, and the three canned
+// experiment runners that produce the paper's figures.
+
+#ifndef OSCAR_CORE_EXPERIMENTS_H_
+#define OSCAR_CORE_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/network.h"
+#include "core/rng.h"
+#include "core/simulation.h"
+#include "metrics/degree_metrics.h"
+#include "overlay/overlay.h"
+
+namespace oscar {
+
+/// Experiment sizing, resolved from the environment (see ScaleFromEnv).
+struct ExperimentScale {
+  size_t target_size = 0;
+  size_t queries = 0;         // Queries per evaluation point.
+  uint64_t seed = 0;
+  std::vector<size_t> checkpoints;  // Network sizes to evaluate at.
+};
+
+/// Reads the scale from the environment:
+///   OSCAR_BENCH_SCALE   "small" (default, seconds per harness) or
+///                       "paper" (the paper's 10k-peer runs).
+///   OSCAR_BENCH_SIZE    overrides target_size (checkpoints become
+///                       size/4, size/2, size).
+///   OSCAR_BENCH_QUERIES overrides queries per evaluation.
+///   OSCAR_BENCH_SEED    overrides the seed (default 42).
+ExperimentScale ScaleFromEnv();
+
+// ---- Named overlay factories -------------------------------------------
+
+OverlayFactory OscarFactory();
+OverlayFactory OscarNoP2cFactory();
+/// Oscar with a specific per-median sample size (ablation X2).
+OverlayFactory OscarWithSampleSize(uint32_t samples_per_median);
+OverlayFactory MercuryFactory();
+OverlayFactory ChordFactory();
+OverlayFactory KleinbergFactory();
+
+// ---- Experiment row types ----------------------------------------------
+
+/// One (series, churn, size) cell of a search-cost-vs-size figure.
+struct SearchCostRow {
+  std::string series;       // Degree-distribution name.
+  double churn_fraction = 0.0;
+  size_t network_size = 0;
+  double avg_cost = 0.0;    // Mean messages per query, wasted included.
+  double avg_wasted = 0.0;
+  double success_rate = 0.0;
+};
+
+/// One (overlay, key distribution) cell of the comparison table.
+struct ComparisonRow {
+  std::string overlay_name;
+  std::string key_name;
+  size_t network_size = 0;
+  double avg_cost = 0.0;
+  double success_rate = 0.0;
+  double utilization = 0.0;
+  uint64_t sampling_steps = 0;  // Construction sampling bandwidth.
+};
+
+/// One (overlay, degree distribution) in-degree load measurement.
+struct DegreeLoadRow {
+  std::string overlay_name;
+  std::string degree_name;
+  size_t network_size = 0;
+  DegreeLoadReport report;
+};
+
+// ---- Runners ------------------------------------------------------------
+
+/// Fig 1(c) / Fig 2 engine: grows one network per degree series under
+/// Gnutella keys, and at every checkpoint evaluates each churn fraction
+/// (0 => greedy routing on the intact network; >0 => crash a copy and
+/// route with the fault-aware backtracking router).
+Result<std::vector<SearchCostRow>> RunSearchCostVsSize(
+    const ExperimentScale& scale,
+    const std::vector<std::string>& degree_names,
+    const std::vector<double>& churn_fractions,
+    const OverlayFactory& factory);
+
+/// X1/X2 engine: grows one constant-degree network per (overlay, key
+/// distribution) pair and reports cost, utilization and sampling spend.
+Result<std::vector<ComparisonRow>> RunOverlayComparison(
+    const ExperimentScale& scale,
+    const std::vector<std::pair<std::string, OverlayFactory>>& overlays,
+    const std::vector<std::string>& key_names);
+
+/// Fig 1(b) / X3 engine: grows one network per degree series under
+/// Gnutella keys and measures the in-degree load curve.
+Result<std::vector<DegreeLoadRow>> RunDegreeLoad(
+    const ExperimentScale& scale,
+    const std::vector<std::string>& degree_names,
+    const OverlayFactory& factory, const std::string& overlay_name);
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_EXPERIMENTS_H_

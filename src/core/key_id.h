@@ -1,0 +1,60 @@
+// KeyId: a position on the unit ring, stored as a 64-bit fixed-point
+// fraction so ring arithmetic (wrap-around distances, segment membership)
+// is exact. The unsigned wrap of uint64_t IS the ring wrap.
+
+#ifndef OSCAR_CORE_KEY_ID_H_
+#define OSCAR_CORE_KEY_ID_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace oscar {
+
+struct KeyId {
+  uint64_t raw = 0;
+
+  /// Maps u in [0, 1) onto the ring; out-of-range inputs are wrapped.
+  static KeyId FromUnit(double u) {
+    u -= std::floor(u);  // Wrap into [0, 1); also handles negatives.
+    // 2^64 as a double. u < 1 guarantees the product converts in range;
+    // the nearest double below 1.0 maps to 2^64 - 2^11 which still fits.
+    double scaled = u * 18446744073709551616.0;
+    if (scaled >= 18446744073709551615.0) scaled = 18446744073709551615.0;
+    return KeyId{static_cast<uint64_t>(scaled)};
+  }
+
+  static KeyId FromRaw(uint64_t raw) { return KeyId{raw}; }
+
+  double unit() const {
+    return static_cast<double>(raw) / 18446744073709551616.0;
+  }
+
+  /// The key at clockwise offset `fraction` of the ring from this one.
+  KeyId OffsetBy(double fraction) const {
+    return KeyId{raw + FromUnit(fraction).raw};
+  }
+
+  friend bool operator==(KeyId a, KeyId b) { return a.raw == b.raw; }
+  friend bool operator!=(KeyId a, KeyId b) { return a.raw != b.raw; }
+  friend bool operator<(KeyId a, KeyId b) { return a.raw < b.raw; }
+};
+
+/// Distance travelling clockwise from `a` to `b` (in ring units of 2^-64).
+inline uint64_t ClockwiseDistance(KeyId a, KeyId b) { return b.raw - a.raw; }
+
+/// Shortest-way ring distance between `a` and `b`.
+inline uint64_t RingDistance(KeyId a, KeyId b) {
+  const uint64_t cw = b.raw - a.raw;
+  const uint64_t ccw = a.raw - b.raw;
+  return cw < ccw ? cw : ccw;
+}
+
+/// True when `key` lies in the clockwise half-open segment [from, to).
+/// An empty segment (from == to) contains nothing.
+inline bool InClockwiseSegment(KeyId key, KeyId from, KeyId to) {
+  return ClockwiseDistance(from, key) < ClockwiseDistance(from, to);
+}
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_KEY_ID_H_

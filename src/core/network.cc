@@ -1,0 +1,114 @@
+#include "core/network.h"
+
+#include <algorithm>
+
+namespace oscar {
+
+PeerId Network::Join(KeyId key, DegreeCaps caps) {
+  const PeerId id = static_cast<PeerId>(peers_.size());
+  Peer peer;
+  peer.key = key;
+  peer.caps = caps;
+  peers_.push_back(std::move(peer));
+  ring_.Insert(key, id);
+  return id;
+}
+
+void Network::Crash(PeerId id) {
+  Peer& peer = peers_[id];
+  if (!peer.alive) return;
+  ClearLongLinks(id);  // Release the in-degree this peer's links held.
+  peer.alive = false;
+  peer.long_in_peers.clear();
+  peer.long_in = 0;
+  ring_.Remove(peer.key, id);
+}
+
+std::vector<PeerId> Network::AlivePeers() const {
+  std::vector<PeerId> out;
+  out.reserve(ring_.size());
+  for (const Ring::Entry& entry : ring_.entries()) out.push_back(entry.id);
+  return out;
+}
+
+std::optional<PeerId> Network::RingNeighbor(PeerId id, bool clockwise) const {
+  const Peer& peer = peers_[id];
+  if (!peer.alive || ring_.size() < 2) return std::nullopt;
+  const auto index = ring_.IndexOf(peer.key, id);
+  if (!index.has_value()) return std::nullopt;
+  const size_t n = ring_.size();
+  const size_t next = clockwise ? (*index + 1) % n : (*index + n - 1) % n;
+  return ring_.at(next).id;
+}
+
+std::optional<PeerId> Network::SuccessorOf(PeerId id) const {
+  return RingNeighbor(id, /*clockwise=*/true);
+}
+
+std::optional<PeerId> Network::PredecessorOf(PeerId id) const {
+  return RingNeighbor(id, /*clockwise=*/false);
+}
+
+bool Network::AddLongLink(PeerId from, PeerId to) {
+  if (from == to) return false;
+  Peer& src = peers_[from];
+  Peer& dst = peers_[to];
+  if (!src.alive || !dst.alive) return false;
+  if (src.long_out.size() >= src.caps.max_out) return false;
+  if (dst.long_in >= dst.caps.max_in) return false;
+  if (std::find(src.long_out.begin(), src.long_out.end(), to) !=
+      src.long_out.end()) {
+    return false;
+  }
+  src.long_out.push_back(to);
+  dst.long_in_peers.push_back(from);
+  ++dst.long_in;
+  return true;
+}
+
+void Network::ClearLongLinks(PeerId id) {
+  Peer& peer = peers_[id];
+  for (PeerId target : peer.long_out) {
+    Peer& dst = peers_[target];
+    if (!dst.alive) continue;
+    const auto it = std::find(dst.long_in_peers.begin(),
+                              dst.long_in_peers.end(), id);
+    if (it != dst.long_in_peers.end()) {
+      dst.long_in_peers.erase(it);
+      --dst.long_in;
+    }
+  }
+  peer.long_out.clear();
+}
+
+size_t Network::PruneDeadLinks(PeerId id) {
+  Peer& peer = peers_[id];
+  const size_t before = peer.long_out.size();
+  peer.long_out.erase(
+      std::remove_if(peer.long_out.begin(), peer.long_out.end(),
+                     [&](PeerId t) { return !peers_[t].alive; }),
+      peer.long_out.end());
+  return before - peer.long_out.size();
+}
+
+uint32_t Network::RemainingOutBudget(PeerId id) const {
+  const Peer& peer = peers_[id];
+  const uint32_t used = static_cast<uint32_t>(peer.long_out.size());
+  return peer.caps.max_out > used ? peer.caps.max_out - used : 0;
+}
+
+void Network::AppendNeighbors(PeerId id, std::vector<PeerId>* out) const {
+  const auto succ = SuccessorOf(id);
+  const auto pred = PredecessorOf(id);
+  if (succ.has_value()) out->push_back(*succ);
+  if (pred.has_value() && pred != succ) out->push_back(*pred);
+  for (PeerId target : peers_[id].long_out) out->push_back(target);
+}
+
+void Network::AppendWalkNeighbors(PeerId id,
+                                  std::vector<PeerId>* out) const {
+  AppendNeighbors(id, out);
+  for (PeerId source : peers_[id].long_in_peers) out->push_back(source);
+}
+
+}  // namespace oscar

@@ -1,0 +1,92 @@
+// Network: the simulated peer population. Owns the peer table (keys,
+// degree budgets, liveness, long links) and the Ring index over alive
+// peers. Overlay strategies write links through AddLongLink, which is
+// the single place in-degree caps are enforced.
+
+#ifndef OSCAR_CORE_NETWORK_H_
+#define OSCAR_CORE_NETWORK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/key_id.h"
+#include "core/ring.h"
+
+namespace oscar {
+
+/// Per-peer degree budget: how many long in-links a peer accepts and how
+/// many long out-links it builds. Short (ring) links are not budgeted.
+struct DegreeCaps {
+  uint32_t max_in = 0;
+  uint32_t max_out = 0;
+};
+
+struct Peer {
+  KeyId key;
+  DegreeCaps caps;
+  bool alive = true;
+  std::vector<PeerId> long_out;      // Long-link targets (may dangle to dead).
+  std::vector<PeerId> long_in_peers; // Alive peers holding a link to us.
+  uint32_t long_in = 0;              // == long_in_peers.size(), cached.
+};
+
+class Network {
+ public:
+  /// Adds an alive peer and indexes it on the ring. Returns its id.
+  PeerId Join(KeyId key, DegreeCaps caps);
+
+  /// Removes a peer from the ring and releases the in-degree its
+  /// out-links held. Dangling in-links *to* it stay in the owners'
+  /// long_out lists — routers discover them as dead probes.
+  void Crash(PeerId id);
+
+  const Ring& ring() const { return ring_; }
+  size_t alive_count() const { return ring_.size(); }
+  size_t size() const { return peers_.size(); }
+  const Peer& peer(PeerId id) const { return peers_[id]; }
+
+  std::optional<PeerId> OwnerOf(KeyId key) const { return ring_.OwnerOf(key); }
+
+  /// Alive peers in ring (clockwise key) order.
+  std::vector<PeerId> AlivePeers() const;
+
+  /// Next/previous alive peer on the ring; nullopt when `id` is the only
+  /// alive peer (or dead). For a 1-peer ring a peer has no neighbors.
+  std::optional<PeerId> SuccessorOf(PeerId id) const;
+  std::optional<PeerId> PredecessorOf(PeerId id) const;
+
+  /// Adds a long link from -> to. Fails (returns false) on self-links,
+  /// dead endpoints, duplicates, and when `to` is at its in-degree cap
+  /// or `from` at its out-degree cap.
+  bool AddLongLink(PeerId from, PeerId to);
+
+  /// Drops all long out-links of `id`, returning targets' in-degree.
+  void ClearLongLinks(PeerId id);
+
+  /// Drops out-links of `id` that point at dead peers; returns the count.
+  size_t PruneDeadLinks(PeerId id);
+
+  /// Remaining out-link budget of an alive peer.
+  uint32_t RemainingOutBudget(PeerId id) const;
+
+  /// Appends the routing neighbors of `id`: ring predecessor/successor
+  /// (always alive) followed by long-link targets (possibly dead).
+  void AppendNeighbors(PeerId id, std::vector<PeerId>* out) const;
+
+  /// Appends the undirected gossip neighborhood of `id`: routing
+  /// neighbors plus the peers holding long links TO `id`. Random walks
+  /// use this symmetric view — walking only out-links concentrates the
+  /// stationary distribution on already-popular peers.
+  void AppendWalkNeighbors(PeerId id, std::vector<PeerId>* out) const;
+
+ private:
+  std::optional<PeerId> RingNeighbor(PeerId id, bool clockwise) const;
+
+  std::vector<Peer> peers_;
+  Ring ring_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_NETWORK_H_

@@ -1,0 +1,68 @@
+// Ring: the sorted key index over alive peers. Supports ownership
+// lookup, clockwise order statistics (CountInSegment, rank queries) and
+// neighbor queries — the substrate every overlay and router builds on.
+
+#ifndef OSCAR_CORE_RING_H_
+#define OSCAR_CORE_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/key_id.h"
+
+namespace oscar {
+
+/// Peers are dense indices into Network's peer table.
+using PeerId = uint32_t;
+
+class Ring {
+ public:
+  struct Entry {
+    uint64_t key_raw;
+    PeerId id;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.key_raw != b.key_raw ? a.key_raw < b.key_raw : a.id < b.id;
+    }
+  };
+
+  void Insert(KeyId key, PeerId id);
+  void Remove(KeyId key, PeerId id);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The alive peer closest to `key` by shortest-way ring distance
+  /// (ties broken clockwise). nullopt on an empty ring.
+  std::optional<PeerId> OwnerOf(KeyId key) const;
+
+  /// Number of alive peers whose key lies in the clockwise segment
+  /// [from, to). from == to denotes the empty segment.
+  size_t CountInSegment(KeyId from, KeyId to) const;
+
+  /// The `offset`-th alive peer clockwise within [from, to); nullopt when
+  /// the segment holds fewer than offset+1 peers.
+  std::optional<PeerId> NthInSegment(KeyId from, KeyId to,
+                                     size_t offset) const;
+
+  /// First alive peer at or clockwise-after `key` (wrapping).
+  std::optional<PeerId> SuccessorOfKey(KeyId key) const;
+
+  /// Clockwise rank from the peer owning position `from_idx` — helpers
+  /// for link-geometry metrics. `IndexOf` returns the position of the
+  /// entry (key,id) in ring order, or nullopt if absent.
+  std::optional<size_t> IndexOf(KeyId key, PeerId id) const;
+  const Entry& at(size_t index) const { return entries_[index]; }
+
+ private:
+  // Position of the first entry with key_raw >= raw (== size() if none).
+  size_t LowerBound(uint64_t raw) const;
+
+  std::vector<Entry> entries_;  // Sorted by (key_raw, id).
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_RING_H_

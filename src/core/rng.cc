@@ -1,0 +1,15 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+namespace oscar {
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 nudged away from 0 so the log is finite.
+  const double u1 = NextDouble() + 1e-300;
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace oscar

@@ -1,0 +1,54 @@
+// Deterministic splitmix64 RNG. Every stochastic component of the
+// simulator draws from an explicitly threaded Rng so that a fixed seed
+// reproduces a run bit-for-bit (see the deterministic-replay test).
+
+#ifndef OSCAR_CORE_RNG_H_
+#define OSCAR_CORE_RNG_H_
+
+#include <cstdint>
+
+namespace oscar {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit draw (splitmix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n); returns 0 when n == 0.
+  uint64_t UniformInt(uint64_t n) {
+    if (n == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t draw;
+    do {
+      draw = Next();
+    } while (draw >= limit);
+    return draw % n;
+  }
+
+  /// Standard normal via Box-Muller (one draw per call, no caching, to
+  /// keep the consumption pattern deterministic and simple).
+  double NextGaussian();
+
+  /// A statistically independent child generator.
+  Rng Split() { return Rng(Next() ^ 0x632be59bd9b4e019ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_RNG_H_

@@ -1,0 +1,158 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "degree/constant_degree.h"
+#include "degree/spiky_degree.h"
+#include "degree/stepped_degree.h"
+#include "keyspace/gnutella_distribution.h"
+#include "routing/greedy_router.h"
+
+namespace oscar {
+
+SearchEvaluation EvaluateSearch(const Network& net, const Router& router,
+                                const SearchOptions& options, Rng* rng) {
+  SearchEvaluation eval;
+  const std::vector<PeerId> alive = net.AlivePeers();
+  if (alive.empty() || options.num_queries == 0) return eval;
+
+  std::vector<double> costs;
+  costs.reserve(options.num_queries);
+  double wasted_total = 0.0;
+  size_t successes = 0;
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    PeerId source;
+    if (options.source_by_key) {
+      source = *net.OwnerOf(KeyId::FromUnit(rng->NextDouble()));
+    } else {
+      source = alive[static_cast<size_t>(rng->UniformInt(alive.size()))];
+    }
+    const KeyId key = options.query_distribution != nullptr
+                          ? options.query_distribution->Sample(rng)
+                          : KeyId::FromUnit(rng->NextDouble());
+    const RouteResult route = router.Route(net, source, key);
+    if (route.success) ++successes;
+    costs.push_back(route.Cost());
+    wasted_total += route.wasted;
+  }
+  double total = 0.0;
+  for (double c : costs) total += c;
+  eval.num_queries = costs.size();
+  eval.avg_cost = total / static_cast<double>(costs.size());
+  eval.p95_cost = Percentile(costs, 95.0);
+  eval.avg_wasted = wasted_total / static_cast<double>(costs.size());
+  eval.success_rate =
+      static_cast<double>(successes) / static_cast<double>(costs.size());
+  return eval;
+}
+
+Result<KeyDistributionPtr> MakeKeyDistribution(const std::string& name) {
+  if (name == "uniform") {
+    return KeyDistributionPtr(std::make_shared<UniformKeyDistribution>());
+  }
+  if (name == "gnutella") {
+    auto made = GnutellaKeyDistribution::Make();
+    if (!made.ok()) return made.status();
+    return KeyDistributionPtr(std::make_shared<GnutellaKeyDistribution>(
+        std::move(made).value()));
+  }
+  if (name == "clustered") {
+    return KeyDistributionPtr(std::make_shared<ClusteredKeyDistribution>());
+  }
+  return Status::Error(StrCat("unknown key distribution: '", name,
+                              "' (expected uniform|gnutella|clustered)"));
+}
+
+Result<DegreeDistributionPtr> MakePaperDegreeDistribution(
+    const std::string& name) {
+  if (name == "constant") {
+    auto made = ConstantDegreeDistribution::Make(27, 27);
+    if (!made.ok()) return made.status();
+    return DegreeDistributionPtr(std::make_shared<ConstantDegreeDistribution>(
+        std::move(made).value()));
+  }
+  if (name == "realistic") {
+    return DegreeDistributionPtr(std::make_shared<SpikyDegreeDistribution>(
+        SpikyDegreeDistribution::Paper()));
+  }
+  if (name == "stepped") {
+    return DegreeDistributionPtr(std::make_shared<SteppedDegreeDistribution>());
+  }
+  return Status::Error(StrCat("unknown degree distribution: '", name,
+                              "' (expected constant|realistic|stepped)"));
+}
+
+Simulation::Simulation(GrowthConfig config) : config_(std::move(config)) {}
+
+Result<GrowthResult> Simulation::Run() {
+  if (config_.target_size == 0) {
+    return Status::Error("growth: target_size must be positive");
+  }
+  if (config_.key_distribution == nullptr) {
+    return Status::Error("growth: key_distribution not set");
+  }
+  if (config_.degree_distribution == nullptr) {
+    return Status::Error("growth: degree_distribution not set");
+  }
+  if (config_.overlay == nullptr) {
+    return Status::Error("growth: overlay not set");
+  }
+  std::vector<size_t> checkpoints = config_.checkpoints;
+  if (checkpoints.empty()) checkpoints.push_back(config_.target_size);
+  std::sort(checkpoints.begin(), checkpoints.end());
+  checkpoints.erase(
+      std::unique(checkpoints.begin(), checkpoints.end()),
+      checkpoints.end());
+  if (checkpoints.back() > config_.target_size) {
+    return Status::Error(
+        StrCat("growth: checkpoint ", checkpoints.back(),
+               " beyond target size ", config_.target_size));
+  }
+
+  Rng rng(config_.seed);
+  GrowthResult result;
+  const GreedyRouter router;
+  size_t next_checkpoint = 0;
+
+  while (network_.alive_count() < config_.target_size) {
+    const PeerId id =
+        network_.Join(config_.key_distribution->Sample(&rng),
+                      config_.degree_distribution->Sample(&rng));
+    const Status built = config_.overlay->BuildLinks(&network_, id, &rng);
+    if (!built.ok()) return built;
+
+    while (next_checkpoint < checkpoints.size() &&
+           network_.alive_count() == checkpoints[next_checkpoint]) {
+      if (config_.rewire_at_checkpoints) {
+        // The paper's periodic global rewiring: recompute everyone's
+        // partitions now that N has changed since they joined.
+        for (PeerId peer : network_.AlivePeers()) {
+          network_.ClearLongLinks(peer);
+        }
+        for (PeerId peer : network_.AlivePeers()) {
+          const Status status =
+              config_.overlay->BuildLinks(&network_, peer, &rng);
+          if (!status.ok()) return status;
+        }
+      }
+      CheckpointResult checkpoint;
+      checkpoint.network_size = network_.alive_count();
+      SearchOptions search;
+      search.num_queries = config_.queries_per_checkpoint;
+      search.query_distribution = config_.key_distribution.get();
+      checkpoint.search = EvaluateSearch(network_, router, search, &rng);
+      result.checkpoints.push_back(checkpoint);
+      if (config_.checkpoint_hook) {
+        const Status status = config_.checkpoint_hook(
+            network_, checkpoint.network_size, &rng);
+        if (!status.ok()) return status;
+      }
+      ++next_checkpoint;
+    }
+  }
+  return result;
+}
+
+}  // namespace oscar

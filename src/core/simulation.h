@@ -1,0 +1,101 @@
+// Simulation: deterministic growth of a network under a key
+// distribution, a degree distribution and an overlay strategy, with
+// search evaluation at size checkpoints. One seed => one byte-identical
+// run (guarded by the deterministic-replay test).
+
+#ifndef OSCAR_CORE_SIMULATION_H_
+#define OSCAR_CORE_SIMULATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/network.h"
+#include "degree/degree_distribution.h"
+#include "keyspace/key_distribution.h"
+#include "overlay/overlay.h"
+#include "routing/router.h"
+
+namespace oscar {
+
+struct SearchOptions {
+  size_t num_queries = 100;
+  /// Query-key distribution; nullptr means uniform keys.
+  const KeyDistribution* query_distribution = nullptr;
+  /// Pick each query's source as the owner of a random uniform key
+  /// instead of a uniform alive peer. With a fixed rng seed this keeps
+  /// (source, key) pairs aligned across evaluations of differently
+  /// crashed copies of the same network — the variance-reduction trick
+  /// the churn figures rely on.
+  bool source_by_key = false;
+};
+
+struct SearchEvaluation {
+  double avg_cost = 0.0;      // Mean hops + wasted messages per query.
+  double p95_cost = 0.0;
+  double avg_wasted = 0.0;    // Mean wasted messages per query.
+  double success_rate = 0.0;
+  size_t num_queries = 0;
+};
+
+/// Routes queries from random alive sources and aggregates costs.
+SearchEvaluation EvaluateSearch(const Network& net, const Router& router,
+                                const SearchOptions& options, Rng* rng);
+
+/// Factory for the named key distributions the harnesses sweep:
+/// "uniform" | "gnutella" | "clustered".
+Result<KeyDistributionPtr> MakeKeyDistribution(const std::string& name);
+
+/// Factory for the paper's in-degree distributions (mean 27):
+/// "constant" | "realistic" | "stepped".
+Result<DegreeDistributionPtr> MakePaperDegreeDistribution(
+    const std::string& name);
+
+struct GrowthConfig {
+  size_t target_size = 0;
+  size_t queries_per_checkpoint = 0;
+  uint64_t seed = 0;
+  /// Sizes at which the network is rewired and evaluated, ascending.
+  /// Empty means a single checkpoint at target_size.
+  std::vector<size_t> checkpoints;
+  KeyDistributionPtr key_distribution;
+  DegreeDistributionPtr degree_distribution;
+  OverlayPtr overlay;
+  /// Rewire every peer's long links at each checkpoint before
+  /// evaluating (the paper's periodic global rewiring); joins between
+  /// checkpoints only wire the joining peer.
+  bool rewire_at_checkpoints = true;
+  /// Optional per-checkpoint callback (e.g. crash a copy and evaluate
+  /// under churn). Runs after the built-in evaluation.
+  std::function<Status(const Network&, size_t checkpoint_size, Rng* rng)>
+      checkpoint_hook;
+};
+
+struct CheckpointResult {
+  size_t network_size = 0;
+  SearchEvaluation search;
+};
+
+struct GrowthResult {
+  std::vector<CheckpointResult> checkpoints;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(GrowthConfig config);
+
+  /// Grows the network to target_size, evaluating at each checkpoint.
+  Result<GrowthResult> Run();
+
+  const Network& network() const { return network_; }
+  const GrowthConfig& config() const { return config_; }
+
+ private:
+  GrowthConfig config_;
+  Network network_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_SIMULATION_H_

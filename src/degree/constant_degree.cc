@@ -1,0 +1,20 @@
+#include "degree/constant_degree.h"
+
+#include "common/string_util.h"
+
+namespace oscar {
+
+Result<ConstantDegreeDistribution> ConstantDegreeDistribution::Make(
+    uint32_t max_in, uint32_t max_out) {
+  if (max_in == 0 || max_out == 0) {
+    return Status::Error(StrCat("constant degree caps must be positive, got ",
+                                "in=", max_in, " out=", max_out));
+  }
+  return ConstantDegreeDistribution(max_in, max_out);
+}
+
+DegreeCaps ConstantDegreeDistribution::Sample(Rng* /*rng*/) const {
+  return caps_;
+}
+
+}  // namespace oscar

@@ -1,0 +1,30 @@
+// Every peer gets the same degree budget (the paper's "constant" case,
+// 27 in / 27 out by default).
+
+#ifndef OSCAR_DEGREE_CONSTANT_DEGREE_H_
+#define OSCAR_DEGREE_CONSTANT_DEGREE_H_
+
+#include "common/status.h"
+#include "degree/degree_distribution.h"
+
+namespace oscar {
+
+class ConstantDegreeDistribution : public DegreeDistribution {
+ public:
+  /// Fails when either cap is zero: a navigable peer needs at least one
+  /// long link, and a peer that accepts none starves its neighborhood.
+  static Result<ConstantDegreeDistribution> Make(uint32_t max_in,
+                                                 uint32_t max_out);
+
+  DegreeCaps Sample(Rng* rng) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  ConstantDegreeDistribution(uint32_t max_in, uint32_t max_out)
+      : caps_{max_in, max_out} {}
+  DegreeCaps caps_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_DEGREE_CONSTANT_DEGREE_H_

@@ -1,0 +1,28 @@
+// Degree distributions: per-peer degree budgets (DegreeCaps) sampled at
+// join time. The paper's claim is that Oscar adapts to ANY in-degree
+// distribution, so the three cases it plots (constant / realistic /
+// stepped) are pluggable strategies.
+
+#ifndef OSCAR_DEGREE_DEGREE_DISTRIBUTION_H_
+#define OSCAR_DEGREE_DEGREE_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/network.h"
+#include "core/rng.h"
+
+namespace oscar {
+
+class DegreeDistribution {
+ public:
+  virtual ~DegreeDistribution() = default;
+  virtual DegreeCaps Sample(Rng* rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using DegreeDistributionPtr = std::shared_ptr<DegreeDistribution>;
+
+}  // namespace oscar
+
+#endif  // OSCAR_DEGREE_DEGREE_DISTRIBUTION_H_

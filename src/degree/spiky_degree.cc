@@ -1,0 +1,100 @@
+#include "degree/spiky_degree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oscar {
+namespace {
+
+constexpr uint32_t kMaxDegree = 128;
+constexpr double kTargetMean = 27.0;
+
+// Moves probability mass between bin pairs until the pmf mean hits the
+// target exactly (a transfer of t from bin a to bin b shifts the mean by
+// t * (b - a)). Pairs are tried in order, clamped to available mass.
+void PinMean(std::vector<double>* pmf) {
+  auto mean = [&] {
+    double m = 0.0;
+    for (uint32_t d = 0; d <= kMaxDegree; ++d) m += (*pmf)[d] * d;
+    return m;
+  };
+  // (donor-when-mean-high, receiver-when-mean-high) candidate pairs.
+  const std::pair<uint32_t, uint32_t> pairs[] = {
+      {100, 10}, {64, 10}, {50, 20}, {32, 20}, {30, 20}};
+  for (const auto& [high, low] : pairs) {
+    const double error = mean() - kTargetMean;
+    if (std::abs(error) < 1e-13) break;
+    const double span = static_cast<double>(high - low);
+    if (error > 0.0) {
+      // Mean too high: move mass downward (high -> low), keeping a
+      // sliver in the donor bin so the spike survives.
+      const double t = std::min(error / span, (*pmf)[high] * 0.9);
+      (*pmf)[high] -= t;
+      (*pmf)[low] += t;
+    } else {
+      const double t = std::min(-error / span, (*pmf)[low] * 0.9);
+      (*pmf)[low] -= t;
+      (*pmf)[high] += t;
+    }
+  }
+}
+
+}  // namespace
+
+SpikyDegreeDistribution SpikyDegreeDistribution::Paper() {
+  std::vector<double> weight(kMaxDegree + 1, 0.0);
+  // Smooth tent around the mean.
+  for (uint32_t d = 1; d <= 64; ++d) {
+    weight[d] += 0.4 * std::exp(-std::abs(static_cast<double>(d) - 27.0) / 9.0);
+  }
+  // Heavy tail beyond 64.
+  for (uint32_t d = 65; d <= kMaxDegree; ++d) {
+    weight[d] += 4.0 / (static_cast<double>(d) * static_cast<double>(d));
+  }
+  // Spikes at common client default settings.
+  weight[10] += 0.40;
+  weight[20] += 0.50;
+  weight[27] += 1.50;
+  weight[30] += 0.20;
+  weight[32] += 0.25;
+  weight[50] += 0.15;
+  weight[64] += 0.08;
+  weight[100] += 0.05;
+
+  double total = 0.0;
+  for (double w : weight) total += w;
+  for (double& w : weight) w /= total;
+  PinMean(&weight);
+  return SpikyDegreeDistribution(std::move(weight));
+}
+
+SpikyDegreeDistribution::SpikyDegreeDistribution(std::vector<double> pmf)
+    : pmf_(std::move(pmf)) {
+  cdf_.resize(pmf_.size());
+  double cumulative = 0.0;
+  for (size_t d = 0; d < pmf_.size(); ++d) {
+    cumulative += pmf_[d];
+    cdf_[d] = cumulative;
+  }
+  cdf_.back() = 1.0;  // Absorb float drift.
+}
+
+std::vector<std::pair<uint32_t, double>> SpikyDegreeDistribution::Pmf()
+    const {
+  std::vector<std::pair<uint32_t, double>> out;
+  for (uint32_t d = 0; d < pmf_.size(); ++d) {
+    if (pmf_[d] > 0.0) out.emplace_back(d, pmf_[d]);
+  }
+  return out;
+}
+
+DegreeCaps SpikyDegreeDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const uint32_t degree = static_cast<uint32_t>(
+      std::min<size_t>(static_cast<size_t>(it - cdf_.begin()), kMaxDegree));
+  const uint32_t clamped = std::max(degree, 1u);
+  return DegreeCaps{clamped, clamped};
+}
+
+}  // namespace oscar

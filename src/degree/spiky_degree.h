@@ -1,0 +1,41 @@
+// The paper's synthetic "realistic" node-degree distribution (Fig 1a):
+// a smooth tent around the mean with sharp spikes at common client
+// defaults (10, 20, 27, 30, 32, 50, 64, 100) and a heavy tail, with the
+// mean pinned to exactly 27.
+
+#ifndef OSCAR_DEGREE_SPIKY_DEGREE_H_
+#define OSCAR_DEGREE_SPIKY_DEGREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "degree/degree_distribution.h"
+
+namespace oscar {
+
+class SpikyDegreeDistribution : public DegreeDistribution {
+ public:
+  /// The canonical paper instance: support 1..128, spikes at client
+  /// defaults, heavy tail beyond 64, mean exactly 27.
+  static SpikyDegreeDistribution Paper();
+
+  /// Exact pmf, ascending by degree; only bins with nonzero mass.
+  std::vector<std::pair<uint32_t, double>> Pmf() const;
+
+  /// Samples DegreeCaps with max_in == max_out == the sampled degree
+  /// (a peer's willingness to accept links mirrors its capacity to
+  /// maintain them).
+  DegreeCaps Sample(Rng* rng) const override;
+  std::string name() const override { return "realistic"; }
+
+ private:
+  explicit SpikyDegreeDistribution(std::vector<double> pmf);
+
+  std::vector<double> pmf_;  // Indexed by degree, 0..kMaxDegree.
+  std::vector<double> cdf_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_DEGREE_SPIKY_DEGREE_H_

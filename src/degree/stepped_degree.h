@@ -1,0 +1,30 @@
+// The paper's "stepped" case: the population splits into two classes of
+// very different capacity (weak clients vs strong servents) whose mix
+// still averages 27.
+
+#ifndef OSCAR_DEGREE_STEPPED_DEGREE_H_
+#define OSCAR_DEGREE_STEPPED_DEGREE_H_
+
+#include "degree/degree_distribution.h"
+
+namespace oscar {
+
+class SteppedDegreeDistribution : public DegreeDistribution {
+ public:
+  /// 50% of peers at degree 10, 50% at degree 44 (mean 27).
+  SteppedDegreeDistribution() : low_{10, 10}, high_{44, 44}, high_prob_(0.5) {}
+
+  DegreeCaps Sample(Rng* rng) const override {
+    return rng->NextDouble() < high_prob_ ? high_ : low_;
+  }
+  std::string name() const override { return "stepped"; }
+
+ private:
+  DegreeCaps low_;
+  DegreeCaps high_;
+  double high_prob_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_DEGREE_STEPPED_DEGREE_H_

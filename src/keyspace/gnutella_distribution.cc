@@ -1,0 +1,42 @@
+#include "keyspace/gnutella_distribution.h"
+
+#include <cmath>
+
+namespace oscar {
+
+GnutellaKeyDistribution::GnutellaKeyDistribution(
+    std::vector<Component> components)
+    : components_(std::move(components)) {}
+
+Result<GnutellaKeyDistribution> GnutellaKeyDistribution::Make() {
+  // A handful of popularity regions of very different density. Within a
+  // segment of width `span`, mass is drawn as start + span * u^exponent:
+  // exponent > 1 front-loads the segment (power-law pile-up), exponent
+  // == 1 is locally uniform. Roughly half the population ends up in
+  // ~5% of the ring, matching the qualitative skew of Gnutella traces.
+  std::vector<Component> components = {
+      {0.02, 0.0030, 3.0, 0.24},  // Dense pile-up.
+      {0.13, 0.0300, 2.0, 0.42},  // Secondary hotspot.
+      {0.30, 0.0008, 1.0, 0.58},  // Very dense narrow band.
+      {0.47, 0.1200, 2.5, 0.76},  // Broad skewed region.
+      {0.70, 0.0015, 1.0, 0.90},  // Another narrow band.
+      {0.00, 1.0000, 1.0, 1.00},  // Uniform background (10%).
+  };
+  if (components.back().cum_weight != 1.0) {
+    return Status::Error("gnutella component weights must sum to 1");
+  }
+  return GnutellaKeyDistribution(std::move(components));
+}
+
+KeyId GnutellaKeyDistribution::Sample(Rng* rng) const {
+  const double pick = rng->NextDouble();
+  for (const Component& c : components_) {
+    if (pick <= c.cum_weight) {
+      const double u = std::pow(rng->NextDouble(), c.exponent);
+      return KeyId::FromUnit(c.start + c.span * u);
+    }
+  }
+  return KeyId::FromUnit(rng->NextDouble());
+}
+
+}  // namespace oscar

@@ -1,0 +1,38 @@
+// A Gnutella-trace-like key distribution: heavily skewed but smooth-ish,
+// modeled as a mixture of power-law hotspots over the ring, mimicking
+// hashed identifiers of a real file-sharing workload (the distribution
+// the paper grows its Oscar networks under).
+
+#ifndef OSCAR_KEYSPACE_GNUTELLA_DISTRIBUTION_H_
+#define OSCAR_KEYSPACE_GNUTELLA_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "keyspace/key_distribution.h"
+
+namespace oscar {
+
+class GnutellaKeyDistribution : public KeyDistribution {
+ public:
+  /// Builds the canonical instance used by the harnesses.
+  static Result<GnutellaKeyDistribution> Make();
+
+  KeyId Sample(Rng* rng) const override;
+  std::string name() const override { return "gnutella"; }
+
+ private:
+  struct Component {
+    double start;        // Segment start on the ring.
+    double span;         // Segment width.
+    double exponent;     // Density within the segment ~ x^exponent.
+    double cum_weight;   // Cumulative selection weight.
+  };
+  explicit GnutellaKeyDistribution(std::vector<Component> components);
+
+  std::vector<Component> components_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_KEYSPACE_GNUTELLA_DISTRIBUTION_H_

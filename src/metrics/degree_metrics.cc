@@ -1,0 +1,48 @@
+#include "metrics/degree_metrics.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace oscar {
+
+DegreeLoadReport ComputeDegreeLoad(const Network& net) {
+  DegreeLoadReport report;
+  double offered = 0.0, realized = 0.0;
+  size_t saturated = 0, counted = 0;
+  for (PeerId id : net.AlivePeers()) {
+    const Peer& peer = net.peer(id);
+    if (peer.caps.max_in == 0) continue;
+    ++counted;
+    offered += peer.caps.max_in;
+    realized += peer.long_in;
+    if (peer.long_in >= peer.caps.max_in) ++saturated;
+    report.sorted_relative_load.push_back(
+        static_cast<double>(peer.long_in) /
+        static_cast<double>(peer.caps.max_in));
+  }
+  std::sort(report.sorted_relative_load.begin(),
+            report.sorted_relative_load.end());
+  if (offered > 0.0) report.utilization = realized / offered;
+  if (counted > 0) {
+    report.saturated_fraction =
+        static_cast<double>(saturated) / static_cast<double>(counted);
+  }
+  report.load_gini = Gini(report.sorted_relative_load);
+  return report;
+}
+
+std::vector<double> DownsampleCurve(const std::vector<double>& curve,
+                                    size_t points) {
+  std::vector<double> out;
+  if (curve.empty() || points == 0) return out;
+  if (points == 1 || curve.size() == 1) return {curve.front()};
+  out.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    const size_t index = i * (curve.size() - 1) / (points - 1);
+    out.push_back(curve[index]);
+  }
+  return out;
+}
+
+}  // namespace oscar

@@ -1,0 +1,33 @@
+// In-degree load metrics (Fig 1b, ablation X3): how well an overlay
+// exploits the in-degree volume peers offer.
+
+#ifndef OSCAR_METRICS_DEGREE_METRICS_H_
+#define OSCAR_METRICS_DEGREE_METRICS_H_
+
+#include <vector>
+
+#include "core/network.h"
+
+namespace oscar {
+
+struct DegreeLoadReport {
+  /// Per-peer actual/available in-degree, sorted ascending (the Fig 1b
+  /// curve).
+  std::vector<double> sorted_relative_load;
+  /// Sum of realized in-degree over the total offered in-degree volume.
+  double utilization = 0.0;
+  /// Fraction of peers whose in-degree cap is fully used.
+  double saturated_fraction = 0.0;
+  /// Gini coefficient of the relative loads (0 == perfectly even).
+  double load_gini = 0.0;
+};
+
+DegreeLoadReport ComputeDegreeLoad(const Network& net);
+
+/// `points` evenly spaced samples of a sorted curve (endpoints included).
+std::vector<double> DownsampleCurve(const std::vector<double>& curve,
+                                    size_t points);
+
+}  // namespace oscar
+
+#endif  // OSCAR_METRICS_DEGREE_METRICS_H_

@@ -1,0 +1,54 @@
+#include "metrics/routing_load_metrics.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace oscar {
+
+RoutingLoadReport EvaluateRoutingLoad(const Network& net,
+                                      const Router& router,
+                                      const RoutingLoadOptions& options,
+                                      Rng* rng) {
+  RoutingLoadReport report;
+  const std::vector<PeerId> alive = net.AlivePeers();
+  if (alive.empty() || options.num_queries == 0) return report;
+
+  std::vector<double> load(net.size(), 0.0);
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    const PeerId source =
+        alive[static_cast<size_t>(rng->UniformInt(alive.size()))];
+    const KeyId key = options.query_distribution != nullptr
+                          ? options.query_distribution->Sample(rng)
+                          : KeyId::FromUnit(rng->NextDouble());
+    const RouteResult route = router.Route(net, source, key);
+    // Everyone who forwarded the message pays; the terminal only serves.
+    for (size_t i = 0; i + 1 < route.path.size(); ++i) {
+      load[route.path[i]] += 1.0;
+    }
+  }
+
+  std::vector<double> loads, capacities, relative;
+  loads.reserve(alive.size());
+  double total = 0.0;
+  for (PeerId id : alive) {
+    const Peer& peer = net.peer(id);
+    loads.push_back(load[id]);
+    capacities.push_back(static_cast<double>(peer.caps.max_in));
+    relative.push_back(peer.caps.max_in > 0
+                           ? load[id] / static_cast<double>(peer.caps.max_in)
+                           : 0.0);
+    total += load[id];
+  }
+  report.mean_load = total / static_cast<double>(alive.size());
+  if (report.mean_load > 0.0) {
+    report.peak_to_mean = Percentile(loads, 90.0) / report.mean_load;
+    report.max_to_mean =
+        *std::max_element(loads.begin(), loads.end()) / report.mean_load;
+  }
+  report.budget_relative_gini = Gini(relative);
+  report.load_capacity_correlation = PearsonCorrelation(loads, capacities);
+  return report;
+}
+
+}  // namespace oscar

@@ -1,0 +1,31 @@
+// Link-geometry metrics (extension X5): the rank-octave histogram of
+// long links. Kleinberg navigability needs link probability ~ 1/rank,
+// i.e. a FLAT histogram over clockwise population-rank octaves
+// [2^i, 2^{i+1}).
+
+#ifndef OSCAR_METRICS_TOPOLOGY_METRICS_H_
+#define OSCAR_METRICS_TOPOLOGY_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.h"
+
+namespace oscar {
+
+struct LinkGeometryReport {
+  /// octave_counts[i] = long links whose clockwise rank falls in
+  /// [2^i, 2^{i+1}).
+  std::vector<uint64_t> octave_counts;
+  uint64_t total_links = 0;
+  /// max/mean share over octaves fully contained in [1, N) — 1.0 is a
+  /// perfectly flat (navigable) geometry; large values mean the
+  /// construction piles links onto a few scales.
+  double octave_imbalance = 0.0;
+};
+
+LinkGeometryReport ComputeLinkGeometry(const Network& net);
+
+}  // namespace oscar
+
+#endif  // OSCAR_METRICS_TOPOLOGY_METRICS_H_

@@ -1,0 +1,32 @@
+#include "overlay/chord/chord_overlay.h"
+
+#include <cmath>
+
+namespace oscar {
+
+Status ChordOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
+  (void)rng;  // Chord's finger table is deterministic.
+  const size_t n = net->alive_count();
+  if (n < 3 || !net->peer(id).alive) return Status::Ok();
+  const KeyId own_key = net->peer(id).key;
+
+  // The classic finger table: ceil(log2 N) fingers at halving key-space
+  // distances. Under the uniform-key assumption finer fingers would all
+  // collapse onto the successor, so Chord does not maintain them — and
+  // a capped finger table cannot spend extra degree budget either,
+  // which is exactly the rigidity the paper contrasts Oscar against.
+  uint32_t table_size = 1;
+  while ((size_t{1} << table_size) < n) ++table_size;
+  const uint32_t fingers = std::min(net->RemainingOutBudget(id), table_size);
+  for (uint32_t i = 1; i <= fingers; ++i) {
+    const KeyId probe = KeyId::FromRaw(own_key.raw + (1ULL << (64 - i)));
+    const auto target = net->ring().SuccessorOfKey(probe);
+    if (!target.has_value()) break;
+    // Duplicate owners and saturated targets simply drop the finger,
+    // exactly as a capacity-respecting Chord node would.
+    (void)net->AddLongLink(id, *target);
+  }
+  return Status::Ok();
+}
+
+}  // namespace oscar

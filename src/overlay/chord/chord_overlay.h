@@ -1,0 +1,21 @@
+// Chord-style baseline: deterministic fingers at key-space distances
+// 2^-1, 2^-2, ... from the peer's key. The canonical uniform-assumption
+// DHT — rank geometry collapses when keys cluster, since no finger can
+// resolve structure finer than its fixed key-space scale.
+
+#ifndef OSCAR_OVERLAY_CHORD_CHORD_OVERLAY_H_
+#define OSCAR_OVERLAY_CHORD_CHORD_OVERLAY_H_
+
+#include "overlay/overlay.h"
+
+namespace oscar {
+
+class ChordOverlay : public Overlay {
+ public:
+  std::string name() const override { return "chord"; }
+  Status BuildLinks(Network* net, PeerId id, Rng* rng) override;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_OVERLAY_CHORD_CHORD_OVERLAY_H_

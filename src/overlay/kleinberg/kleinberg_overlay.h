@@ -1,0 +1,22 @@
+// Oracle Kleinberg construction: the full-knowledge upper bound Oscar
+// approximates. Long-link targets are drawn by harmonic rank — the
+// clockwise population rank r is chosen with P(r) ~ 1/r using the exact
+// global ring index — which is the defining small-world property,
+// independent of the key distribution.
+
+#ifndef OSCAR_OVERLAY_KLEINBERG_KLEINBERG_OVERLAY_H_
+#define OSCAR_OVERLAY_KLEINBERG_KLEINBERG_OVERLAY_H_
+
+#include "overlay/overlay.h"
+
+namespace oscar {
+
+class KleinbergOverlay : public Overlay {
+ public:
+  std::string name() const override { return "kleinberg-oracle"; }
+  Status BuildLinks(Network* net, PeerId id, Rng* rng) override;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_OVERLAY_KLEINBERG_KLEINBERG_OVERLAY_H_

@@ -1,0 +1,27 @@
+#include "overlay/mercury/mercury_overlay.h"
+
+#include <cmath>
+
+namespace oscar {
+
+Status MercuryOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
+  const size_t n = net->alive_count();
+  if (n < 3 || !net->peer(id).alive) return Status::Ok();
+  const KeyId own_key = net->peer(id).key;
+  const double log_n = std::log(static_cast<double>(n));
+
+  uint32_t budget = net->RemainingOutBudget(id);
+  const uint32_t max_attempts = 8 * budget + 8;
+  for (uint32_t attempt = 0; budget > 0 && attempt < max_attempts;
+       ++attempt) {
+    // Harmonic over key-space distance [1/n, 1): d = e^{(U-1) ln n}.
+    const double distance = std::exp((rng->NextDouble() - 1.0) * log_n);
+    const KeyId probe = own_key.OffsetBy(distance);
+    const auto target = net->ring().SuccessorOfKey(probe);
+    if (!target.has_value()) break;
+    if (net->AddLongLink(id, *target)) --budget;
+  }
+  return Status::Ok();
+}
+
+}  // namespace oscar

@@ -1,0 +1,24 @@
+// Mercury-style baseline: harmonic link construction measured in KEY
+// SPACE rather than population. A peer draws a clockwise key-space
+// distance d = exp((U - 1) * ln(N)) (harmonic over [1/N, 1]) and links
+// to the owner of that key. Correct small-world geometry when keys are
+// uniform; under skew, the geometry warps and in-links concentrate on
+// peers owning large key-space gaps — the comparison the paper
+// inherits from [8].
+
+#ifndef OSCAR_OVERLAY_MERCURY_MERCURY_OVERLAY_H_
+#define OSCAR_OVERLAY_MERCURY_MERCURY_OVERLAY_H_
+
+#include "overlay/overlay.h"
+
+namespace oscar {
+
+class MercuryOverlay : public Overlay {
+ public:
+  std::string name() const override { return "mercury"; }
+  Status BuildLinks(Network* net, PeerId id, Rng* rng) override;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_OVERLAY_MERCURY_MERCURY_OVERLAY_H_

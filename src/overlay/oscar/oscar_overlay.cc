@@ -1,0 +1,140 @@
+#include "overlay/oscar/oscar_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/oracle_sampler.h"
+#include "sampling/random_walk_sampler.h"
+
+namespace oscar {
+namespace {
+
+OscarOptions WithDefaults(OscarOptions options) {
+  if (options.size_estimator == nullptr) {
+    options.size_estimator = std::make_shared<OracleSizeEstimator>();
+  }
+  if (options.sampler == nullptr) {
+    options.sampler = std::make_shared<RandomWalkSegmentSampler>();
+  }
+  options.samples_per_median = std::max(1u, options.samples_per_median);
+  options.attempts_per_link = std::max(1u, options.attempts_per_link);
+  return options;
+}
+
+double RelativeInLoad(const Peer& peer) {
+  if (peer.caps.max_in == 0) return 1.0;
+  return static_cast<double>(peer.long_in) /
+         static_cast<double>(peer.caps.max_in);
+}
+
+}  // namespace
+
+KeyId OscarPartitioner::SampledMedian(const Network& net, PeerId id,
+                                      const RingSegment& seg,
+                                      Rng* rng) const {
+  std::vector<uint64_t> offsets;  // Clockwise distance from segment start.
+  offsets.reserve(options_->samples_per_median);
+  for (uint32_t i = 0; i < options_->samples_per_median; ++i) {
+    auto sample =
+        options_->sampler->SampleInSegment(net, id, seg.from, seg.to, rng);
+    if (!sample.ok()) continue;
+    *sampling_steps_ += sample.value().steps;
+    offsets.push_back(
+        ClockwiseDistance(seg.from, net.peer(sample.value().peer).key));
+  }
+  if (offsets.empty()) {
+    // Sampling failed (e.g. unreachable sliver): split at the key-space
+    // midpoint, degrading gracefully to a Mercury-style cut locally.
+    return KeyId::FromRaw(seg.from.raw + ClockwiseDistance(seg.from, seg.to) / 2);
+  }
+  std::sort(offsets.begin(), offsets.end());
+  return KeyId::FromRaw(seg.from.raw + offsets[offsets.size() / 2]);
+}
+
+std::vector<RingSegment> OscarPartitioner::ComputePartitions(
+    const Network& net, PeerId id, Rng* rng) const {
+  std::vector<RingSegment> partitions;
+  const Peer& self = net.peer(id);
+  if (!self.alive || net.alive_count() < 3) return partitions;
+
+  // The full ring except the peer itself: clockwise from just after our
+  // key back around to it.
+  RingSegment remaining{KeyId::FromRaw(self.key.raw + 1), self.key};
+  if (net.ring().CountInSegment(remaining.from, remaining.to) == 0) {
+    return partitions;
+  }
+
+  const double n_hat =
+      options_->size_estimator->Estimate(net, id, rng);
+  const uint32_t k = std::min(
+      options_->max_partitions,
+      std::max(1u, static_cast<uint32_t>(std::floor(
+                       std::log2(std::max(2.0, n_hat))))));
+
+  for (uint32_t level = 0; level + 1 < k; ++level) {
+    const KeyId median = SampledMedian(net, id, remaining, rng);
+    // Guard degenerate cuts that would empty either side.
+    if (median == remaining.from || median == remaining.to) break;
+    const RingSegment far_half{median, remaining.to};
+    if (net.ring().CountInSegment(far_half.from, far_half.to) == 0) break;
+    partitions.push_back(far_half);  // Farthest population half first.
+    remaining.to = median;
+    if (net.ring().CountInSegment(remaining.from, remaining.to) <= 1) break;
+  }
+  partitions.push_back(remaining);  // Nearest partition last.
+  return partitions;
+}
+
+OscarOverlay::OscarOverlay() : OscarOverlay(OscarOptions{}) {}
+
+OscarOverlay::OscarOverlay(OscarOptions options)
+    : options_(WithDefaults(std::move(options))),
+      partitioner_(&options_, &sampling_steps_) {}
+
+Status OscarOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
+  if (!net->peer(id).alive) return Status::Ok();
+  uint32_t budget = net->RemainingOutBudget(id);
+  if (budget == 0 || net->alive_count() < 3) return Status::Ok();
+
+  const std::vector<RingSegment> partitions =
+      partitioner_.ComputePartitions(*net, id, rng);
+  if (partitions.empty()) return Status::Ok();
+
+  while (budget > 0) {
+    bool linked = false;
+    for (uint32_t attempt = 0; attempt < options_.attempts_per_link;
+         ++attempt) {
+      // Uniform partition + uniform peer inside it == harmonic in rank.
+      const RingSegment& segment = partitions[static_cast<size_t>(
+          rng->UniformInt(partitions.size()))];
+      auto first = options_.sampler->SampleInSegment(*net, id, segment.from,
+                                                     segment.to, rng);
+      if (!first.ok()) continue;
+      sampling_steps_ += first.value().steps;
+      PeerId target = first.value().peer;
+      if (options_.use_p2c) {
+        // Power of two choices: sample a second candidate from the same
+        // partition and keep the one with the lower relative in-load.
+        auto second = options_.sampler->SampleInSegment(
+            *net, id, segment.from, segment.to, rng);
+        if (second.ok()) {
+          sampling_steps_ += second.value().steps;
+          const PeerId alt = second.value().peer;
+          if (RelativeInLoad(net->peer(alt)) <
+              RelativeInLoad(net->peer(target))) {
+            target = alt;
+          }
+        }
+      }
+      if (net->AddLongLink(id, target)) {
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) break;  // Neighborhood saturated; give up gracefully.
+    --budget;
+  }
+  return Status::Ok();
+}
+
+}  // namespace oscar

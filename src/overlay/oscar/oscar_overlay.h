@@ -1,0 +1,83 @@
+// The Oscar overlay (Girdzijauskas, Datta, Aberer — ICDE'07): a
+// small-world construction that stays navigable under ANY key
+// distribution by measuring distance in peer population rather than
+// key space. Each peer recursively halves the remaining ring population
+// using sampled medians, yielding ~log2(N-hat) partitions of
+// exponentially decreasing population; drawing a long link by picking a
+// partition uniformly and a peer uniformly inside it reproduces the
+// harmonic 1/rank law Kleinberg navigability requires.
+
+#ifndef OSCAR_OVERLAY_OSCAR_OSCAR_OVERLAY_H_
+#define OSCAR_OVERLAY_OSCAR_OSCAR_OVERLAY_H_
+
+#include <vector>
+
+#include "overlay/overlay.h"
+#include "sampling/segment_sampler.h"
+#include "sampling/size_estimator.h"
+
+namespace oscar {
+
+struct OscarOptions {
+  SizeEstimatorPtr size_estimator;  // Defaults to OracleSizeEstimator.
+  SegmentSamplerPtr sampler;        // Defaults to RandomWalkSegmentSampler.
+  uint32_t samples_per_median = 9;  // Per-median sample size (ablation X2).
+  bool use_p2c = true;              // Power-of-two-choices in-degree balance.
+  uint32_t attempts_per_link = 8;   // Saturated-target retries per link.
+  uint32_t max_partitions = 48;     // Safety cap on log2(N-hat).
+};
+
+/// A clockwise ring segment [from, to).
+struct RingSegment {
+  KeyId from;
+  KeyId to;
+};
+
+/// Computes a peer's population partitions via sampled medians. Exposed
+/// separately so harnesses can benchmark and inspect partitioning alone.
+class OscarPartitioner {
+ public:
+  OscarPartitioner(const OscarOptions* options, uint64_t* sampling_steps)
+      : options_(options), sampling_steps_(sampling_steps) {}
+
+  /// Partitions of the ring as seen from `id`, ordered farthest (about
+  /// half the population) to nearest (a handful of peers). Empty when
+  /// the network is too small to partition.
+  std::vector<RingSegment> ComputePartitions(const Network& net, PeerId id,
+                                             Rng* rng) const;
+
+ private:
+  /// Median key of the clockwise segment, by sampling; falls back to the
+  /// key-space midpoint when sampling fails.
+  KeyId SampledMedian(const Network& net, PeerId id, const RingSegment& seg,
+                      Rng* rng) const;
+
+  const OscarOptions* options_;
+  uint64_t* sampling_steps_;  // Owned by the enclosing overlay.
+};
+
+class OscarOverlay : public Overlay {
+ public:
+  OscarOverlay();
+  explicit OscarOverlay(OscarOptions options);
+
+  // Non-copyable: the partitioner aliases this instance's state.
+  OscarOverlay(const OscarOverlay&) = delete;
+  OscarOverlay& operator=(const OscarOverlay&) = delete;
+
+  std::string name() const override { return "oscar"; }
+  Status BuildLinks(Network* net, PeerId id, Rng* rng) override;
+  uint64_t sampling_steps() const override { return sampling_steps_; }
+
+  const OscarPartitioner& partitioner() const { return partitioner_; }
+  const OscarOptions& options() const { return options_; }
+
+ private:
+  OscarOptions options_;
+  uint64_t sampling_steps_ = 0;
+  OscarPartitioner partitioner_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_OVERLAY_OSCAR_OSCAR_OVERLAY_H_

@@ -1,0 +1,40 @@
+// Overlay strategy interface: how a peer chooses its long-range links.
+// All overlays share the ring substrate (Network maintains alive ring
+// neighbors); BuildLinks tops a peer's long out-links up to its budget,
+// so the same call serves join, repair, and full rewiring.
+
+#ifndef OSCAR_OVERLAY_OVERLAY_H_
+#define OSCAR_OVERLAY_OVERLAY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/network.h"
+#include "core/rng.h"
+
+namespace oscar {
+
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds long links for `id` until its out budget is exhausted (or
+  /// the strategy gives up on saturated targets). Idempotent top-up:
+  /// existing links are kept.
+  virtual Status BuildLinks(Network* net, PeerId id, Rng* rng) = 0;
+
+  /// Cumulative protocol messages spent on sampling by this overlay
+  /// instance (0 for oracle constructions).
+  virtual uint64_t sampling_steps() const { return 0; }
+};
+
+using OverlayPtr = std::shared_ptr<Overlay>;
+using OverlayFactory = std::function<OverlayPtr()>;
+
+}  // namespace oscar
+
+#endif  // OSCAR_OVERLAY_OVERLAY_H_

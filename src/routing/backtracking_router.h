@@ -1,0 +1,25 @@
+// Fault-aware routing for crashed networks: depth-first greedy. At each
+// peer, candidates are tried nearest-to-target first; probes to dead
+// neighbors cost a wasted message, visited peers are never re-entered,
+// and when a peer runs out of useful neighbors the route backtracks
+// (also a wasted message). Because alive ring neighbors always exist,
+// the search space is connected and every query eventually succeeds —
+// the paper's "remains navigable" claim, priced in messages.
+
+#ifndef OSCAR_ROUTING_BACKTRACKING_ROUTER_H_
+#define OSCAR_ROUTING_BACKTRACKING_ROUTER_H_
+
+#include "routing/router.h"
+
+namespace oscar {
+
+class BacktrackingRouter : public Router {
+ public:
+  RouteResult Route(const Network& net, PeerId source,
+                    KeyId target) const override;
+  std::string name() const override { return "backtracking"; }
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_ROUTING_BACKTRACKING_ROUTER_H_

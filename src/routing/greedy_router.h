@@ -1,0 +1,28 @@
+// Greedy routing: forward to an alive neighbor strictly closer to the
+// target key. Among candidates making near-best progress (within a
+// small band of the best distance), the highest-capacity one is chosen
+// — capacity-aware next-hop selection that sheds forwarding load onto
+// peers that declared bigger budgets without sacrificing progress.
+// Under constant caps this degenerates to classic closest-first greedy.
+// Because every alive peer keeps alive ring neighbors (the simulator
+// models the cheap successor-maintenance every ring overlay runs),
+// strict progress is always possible and routing terminates at the
+// owner.
+
+#ifndef OSCAR_ROUTING_GREEDY_ROUTER_H_
+#define OSCAR_ROUTING_GREEDY_ROUTER_H_
+
+#include "routing/router.h"
+
+namespace oscar {
+
+class GreedyRouter : public Router {
+ public:
+  RouteResult Route(const Network& net, PeerId source,
+                    KeyId target) const override;
+  std::string name() const override { return "greedy"; }
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_ROUTING_GREEDY_ROUTER_H_

@@ -1,0 +1,19 @@
+#include "sampling/oracle_sampler.h"
+
+namespace oscar {
+
+Result<SegmentSample> OracleSegmentSampler::SampleInSegment(
+    const Network& net, PeerId origin, KeyId from, KeyId to,
+    Rng* rng) const {
+  (void)origin;
+  const size_t count = net.ring().CountInSegment(from, to);
+  if (count == 0) return Status::Error("oracle sampler: empty segment");
+  const size_t offset = static_cast<size_t>(rng->UniformInt(count));
+  const auto peer = net.ring().NthInSegment(from, to, offset);
+  if (!peer.has_value()) {
+    return Status::Error("oracle sampler: ring index out of sync");
+  }
+  return SegmentSample{*peer, 1};
+}
+
+}  // namespace oscar

@@ -1,0 +1,22 @@
+// Oracle sampler: exactly uniform over the segment via the global ring
+// index, at unit cost. The idealized upper bound the random-walk
+// sampler is measured against.
+
+#ifndef OSCAR_SAMPLING_ORACLE_SAMPLER_H_
+#define OSCAR_SAMPLING_ORACLE_SAMPLER_H_
+
+#include "sampling/segment_sampler.h"
+
+namespace oscar {
+
+class OracleSegmentSampler : public SegmentSampler {
+ public:
+  Result<SegmentSample> SampleInSegment(const Network& net, PeerId origin,
+                                        KeyId from, KeyId to,
+                                        Rng* rng) const override;
+  std::string name() const override { return "oracle"; }
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_SAMPLING_ORACLE_SAMPLER_H_

@@ -1,0 +1,102 @@
+#include "sampling/random_walk_sampler.h"
+
+#include <algorithm>
+
+#include "routing/greedy_router.h"
+
+namespace oscar {
+
+Result<SegmentSample> RandomWalkSegmentSampler::SampleInSegment(
+    const Network& net, PeerId origin, KeyId from, KeyId to,
+    Rng* rng) const {
+  const size_t count = net.ring().CountInSegment(from, to);
+  if (count == 0) {
+    return Status::Error("random-walk sampler: empty segment");
+  }
+  if (count <= options_.successor_list_cutoff) {
+    // Successor-list path: enumerate the segment (one message per peer)
+    // and pick uniformly.
+    const auto peer = net.ring().NthInSegment(
+        from, to, static_cast<size_t>(rng->UniformInt(count)));
+    if (!peer.has_value()) {
+      return Status::Error("random-walk sampler: ring index out of sync");
+    }
+    return SegmentSample{*peer, count};
+  }
+  uint64_t steps = 0;
+  PeerId current = origin;
+  std::vector<PeerId> scratch;
+  std::vector<PeerId> alive;
+  std::vector<PeerId> proposal_alive;
+  const auto alive_walk_neighbors = [&net](PeerId id,
+                                           std::vector<PeerId>* scratch_vec,
+                                           std::vector<PeerId>* out) {
+    scratch_vec->clear();
+    net.AppendWalkNeighbors(id, scratch_vec);
+    out->clear();
+    for (PeerId n : *scratch_vec) {
+      if (net.peer(n).alive) out->push_back(n);
+    }
+  };
+  const uint32_t total_steps = options_.burn_in + options_.max_walk_steps;
+  // Degree-corrected (Metropolis-Hastings, clamped) random walk over the
+  // undirected gossip graph; mixes in O(log N) on a small world.
+  // Membership is tested at stride intervals only — testing every step
+  // would bias samples toward the segment boundary nearest the origin.
+  alive_walk_neighbors(current, &scratch, &alive);
+  for (uint32_t step = 0; step < total_steps; ++step) {
+    if (step >= options_.burn_in &&
+        (step - options_.burn_in) % options_.test_stride == 0 &&
+        InClockwiseSegment(net.peer(current).key, from, to)) {
+      return SegmentSample{current, steps};
+    }
+    if (alive.empty()) break;
+    const PeerId proposal =
+        alive[static_cast<size_t>(rng->UniformInt(alive.size()))];
+    alive_walk_neighbors(proposal, &scratch, &proposal_alive);
+    ++steps;
+    if (proposal_alive.empty()) continue;
+    const double accept = std::max(
+        options_.mh_floor, static_cast<double>(alive.size()) /
+                               static_cast<double>(proposal_alive.size()));
+    if (rng->NextDouble() < accept) {
+      current = proposal;
+      alive.swap(proposal_alive);
+    }
+  }
+  // Fallback range walk: route to a uniformly random key inside the
+  // segment, then de-bias the gap-weighted landing by hopping a random
+  // number of clockwise successors (staying inside the segment).
+  const double span = static_cast<double>(ClockwiseDistance(from, to)) /
+                      18446744073709551616.0;
+  const KeyId probe =
+      KeyId::FromRaw(from.raw + KeyId::FromUnit(rng->NextDouble() * span).raw);
+  const RouteResult route = GreedyRouter().Route(net, current, probe);
+  steps += route.hops + route.wasted;
+  PeerId landed = route.terminal;
+  if (!InClockwiseSegment(net.peer(landed).key, from, to)) {
+    // The owner of the probe key can sit just outside a sparse segment;
+    // snap to the segment's first clockwise peer.
+    const auto first = net.ring().SuccessorOfKey(from);
+    if (!first.has_value() ||
+        !InClockwiseSegment(net.peer(*first).key, from, to)) {
+      return Status::Error("random-walk sampler: segment unreachable");
+    }
+    landed = *first;
+    ++steps;
+  }
+  const uint32_t spread = std::max(1u, options_.fallback_spread);
+  uint32_t hops = static_cast<uint32_t>(rng->UniformInt(spread));
+  for (; hops > 0; --hops) {
+    const auto next = net.SuccessorOf(landed);
+    if (!next.has_value() ||
+        !InClockwiseSegment(net.peer(*next).key, from, to)) {
+      break;
+    }
+    landed = *next;
+    ++steps;
+  }
+  return SegmentSample{landed, steps};
+}
+
+}  // namespace oscar

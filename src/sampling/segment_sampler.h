@@ -1,0 +1,40 @@
+// Segment samplers: draw a (near-)uniform random peer whose key lies in
+// a clockwise ring segment. This is the primitive Oscar's partitioner
+// consumes — the paper's network-size/median estimation reduces to it.
+// Each sample reports the number of protocol messages it cost so the
+// harnesses can account for sampling bandwidth.
+
+#ifndef OSCAR_SAMPLING_SEGMENT_SAMPLER_H_
+#define OSCAR_SAMPLING_SEGMENT_SAMPLER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/network.h"
+#include "core/rng.h"
+
+namespace oscar {
+
+struct SegmentSample {
+  PeerId peer = 0;
+  uint64_t steps = 0;  // Messages spent obtaining this sample.
+};
+
+class SegmentSampler {
+ public:
+  virtual ~SegmentSampler() = default;
+
+  /// Samples an alive peer with key in the clockwise segment [from, to),
+  /// as seen from `origin`. Fails when the segment is empty.
+  virtual Result<SegmentSample> SampleInSegment(const Network& net,
+                                                PeerId origin, KeyId from,
+                                                KeyId to, Rng* rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using SegmentSamplerPtr = std::shared_ptr<const SegmentSampler>;
+
+}  // namespace oscar
+
+#endif  // OSCAR_SAMPLING_SEGMENT_SAMPLER_H_

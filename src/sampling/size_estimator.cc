@@ -1,0 +1,41 @@
+#include "sampling/size_estimator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace oscar {
+
+double OracleSizeEstimator::Estimate(const Network& net, PeerId origin,
+                                     Rng* rng) const {
+  (void)origin;
+  (void)rng;
+  return std::max<double>(1.0, static_cast<double>(net.alive_count()));
+}
+
+double GapSizeEstimator::Estimate(const Network& net, PeerId origin,
+                                  Rng* rng) const {
+  (void)rng;
+  const size_t alive = net.alive_count();
+  if (alive < 2) return 1.0;
+  const uint32_t window =
+      static_cast<uint32_t>(std::min<size_t>(window_, alive - 1));
+  PeerId current = origin;
+  uint64_t span = 0;
+  for (uint32_t i = 0; i < window; ++i) {
+    const auto next = net.SuccessorOf(current);
+    if (!next.has_value()) break;
+    span += ClockwiseDistance(net.peer(current).key, net.peer(*next).key);
+    current = *next;
+  }
+  if (span == 0) return static_cast<double>(alive);
+  const double span_fraction =
+      static_cast<double>(span) / 18446744073709551616.0;
+  return std::max(1.0, static_cast<double>(window) / span_fraction);
+}
+
+std::string GapSizeEstimator::name() const {
+  return StrCat("gap(w=", window_, ")");
+}
+
+}  // namespace oscar

@@ -1,0 +1,56 @@
+// Wall-clock pricing of routes (extension X10): per-peer lognormal
+// forwarding delays plus a fixed probe timeout charged for every wasted
+// message (dead probe or backtrack).
+
+#ifndef OSCAR_SIM_LATENCY_MODEL_H_
+#define OSCAR_SIM_LATENCY_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/network.h"
+#include "core/rng.h"
+#include "routing/router.h"
+
+namespace oscar {
+
+struct LatencyOptions {
+  double median_ms = 25.0;   // Median per-hop forwarding delay.
+  double sigma = 0.8;        // Lognormal shape (heavy tail).
+  double timeout_ms = 500.0; // Cost of probing a dead peer.
+};
+
+class LatencyModel {
+ public:
+  /// Assigns each peer a delay derived from a hash of its ring key —
+  /// a property of the peer, not of the caller's rng stream position.
+  /// This keeps delays identical between a network and a crashed copy
+  /// of it even when a crash pass consumed rng draws in between (the
+  /// common-random-numbers discipline the churn comparisons rely on).
+  /// `rng` is accepted for API symmetry and only seeds nothing today.
+  LatencyModel(const Network& net, const LatencyOptions& options, Rng* rng);
+
+  double HopDelayMs(PeerId id) const { return delays_ms_[id]; }
+  double timeout_ms() const { return options_.timeout_ms; }
+
+ private:
+  LatencyOptions options_;
+  std::vector<double> delays_ms_;
+};
+
+struct LatencyEvaluation {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double success_rate = 0.0;
+};
+
+/// Routes `num_queries` uniform-key queries from random alive sources
+/// and prices each route through the model.
+LatencyEvaluation EvaluateLatency(const Network& net, const Router& router,
+                                  const LatencyModel& model,
+                                  size_t num_queries, Rng* rng);
+
+}  // namespace oscar
+
+#endif  // OSCAR_SIM_LATENCY_MODEL_H_

@@ -1,0 +1,71 @@
+// Replicated key-value placement over the ring (extension X9): items
+// live at their owner plus r-1 clockwise successors, the classic
+// successor-list scheme whose crash survival follows ~ 1 - f^r.
+
+#ifndef OSCAR_STORE_REPLICATED_STORE_H_
+#define OSCAR_STORE_REPLICATED_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/network.h"
+
+namespace oscar {
+
+struct AvailabilityReport {
+  size_t total_items = 0;
+  size_t items_with_replica = 0;  // At least one replica holder alive.
+  size_t items_at_owner = 0;      // Current owner of the key holds one.
+
+  double availability() const {
+    return total_items == 0 ? 0.0
+                            : static_cast<double>(items_with_replica) /
+                                  static_cast<double>(total_items);
+  }
+  double owner_hit_rate() const {
+    return total_items == 0 ? 0.0
+                            : static_cast<double>(items_at_owner) /
+                                  static_cast<double>(total_items);
+  }
+};
+
+class ReplicatedStore {
+ public:
+  /// `replicas` total copies per item (owner included); must be >= 1.
+  explicit ReplicatedStore(uint32_t replicas);
+
+  /// Places an item at the current owner of `key` and its successors.
+  Status Put(const Network& net, KeyId key, std::string value);
+
+  AvailabilityReport CheckAvailability(const Network& net) const;
+
+  /// Re-places every item that still has an alive replica onto the
+  /// current owner + successors (restoring the replication factor).
+  /// Items with no surviving replica are unrecoverable; returns how
+  /// many there are. They stay in the store and keep counting against
+  /// availability — data loss does not disappear from the books.
+  size_t ReReplicate(const Network& net);
+
+  size_t item_count() const { return items_.size(); }
+  uint32_t replicas() const { return replicas_; }
+
+ private:
+  struct Item {
+    KeyId key;
+    std::string value;
+    std::vector<PeerId> holders;
+  };
+
+  /// Owner of `key` plus distinct alive clockwise successors, up to the
+  /// replication factor.
+  std::vector<PeerId> PlacementFor(const Network& net, KeyId key) const;
+
+  uint32_t replicas_;
+  std::vector<Item> items_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_STORE_REPLICATED_STORE_H_

@@ -1,0 +1,108 @@
+// Join / CrashFraction invariants under a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include "churn/churn.h"
+#include "degree/constant_degree.h"
+#include "keyspace/key_distribution.h"
+#include "overlay/kleinberg/kleinberg_overlay.h"
+
+namespace oscar {
+namespace {
+
+Network GrowUniform(size_t n, uint64_t seed) {
+  Network net;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{8, 8});
+  }
+  return net;
+}
+
+TEST(ChurnTest, CrashFractionCrashesExactCount) {
+  Network net = GrowUniform(100, 7);
+  Rng rng(11);
+  auto crashed = CrashFraction(&net, 0.33, &rng);
+  ASSERT_TRUE(crashed.ok());
+  EXPECT_EQ(crashed.value(), 33u);
+  EXPECT_EQ(net.alive_count(), 67u);
+  // The ring index and the per-peer alive flags must agree.
+  size_t alive_flags = 0;
+  for (size_t id = 0; id < net.size(); ++id) {
+    if (net.peer(static_cast<PeerId>(id)).alive) ++alive_flags;
+  }
+  EXPECT_EQ(alive_flags, net.alive_count());
+}
+
+TEST(ChurnTest, CrashFractionIsDeterministicPerSeed) {
+  Network a = GrowUniform(64, 3);
+  Network b = GrowUniform(64, 3);
+  Rng rng_a(5), rng_b(5);
+  ASSERT_TRUE(CrashFraction(&a, 0.25, &rng_a).ok());
+  ASSERT_TRUE(CrashFraction(&b, 0.25, &rng_b).ok());
+  for (size_t id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.peer(static_cast<PeerId>(id)).alive,
+              b.peer(static_cast<PeerId>(id)).alive);
+  }
+}
+
+TEST(ChurnTest, CrashFractionNeverKillsEveryone) {
+  Network net = GrowUniform(3, 9);
+  Rng rng(1);
+  auto crashed = CrashFraction(&net, 0.99, &rng);
+  ASSERT_TRUE(crashed.ok());
+  EXPECT_GE(net.alive_count(), 1u);
+}
+
+TEST(ChurnTest, CrashFractionRejectsBadInput) {
+  Network net = GrowUniform(10, 2);
+  Rng rng(1);
+  EXPECT_FALSE(CrashFraction(&net, -0.1, &rng).ok());
+  EXPECT_FALSE(CrashFraction(&net, 1.0, &rng).ok());
+}
+
+TEST(ChurnTest, CrashReleasesInDegreeHeldByCrashedPeers) {
+  Network net = GrowUniform(20, 4);
+  Rng rng(6);
+  KleinbergOverlay overlay;
+  for (PeerId id : net.AlivePeers()) {
+    ASSERT_TRUE(overlay.BuildLinks(&net, id, &rng).ok());
+  }
+  ASSERT_TRUE(CrashFraction(&net, 0.5, &rng).ok());
+  // Sum of alive peers' long_in must equal the number of alive->alive
+  // long links (dangling links from dead peers were released).
+  size_t in_sum = 0, alive_links = 0;
+  for (PeerId id : net.AlivePeers()) {
+    in_sum += net.peer(id).long_in;
+    for (PeerId t : net.peer(id).long_out) {
+      if (net.peer(t).alive) ++alive_links;
+    }
+  }
+  EXPECT_EQ(in_sum, alive_links);
+}
+
+TEST(ChurnTest, RollingChurnKeepsPopulationStable) {
+  Network net = GrowUniform(50, 8);
+  Rng rng(10);
+  UniformKeyDistribution keys;
+  auto degrees = ConstantDegreeDistribution::Make(8, 8);
+  ASSERT_TRUE(degrees.ok());
+  KleinbergOverlay overlay;
+  RollingChurnOptions options;
+  options.leaves_per_round = 5;
+  options.joins_per_round = 5;
+  options.rounds = 4;
+  auto report = RollingChurn(
+      &net, options, keys, degrees.value(),
+      [&overlay](Network* n, PeerId id, Rng* r) {
+        return overlay.BuildLinks(n, id, r);
+      },
+      &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().left, 20u);
+  EXPECT_EQ(report.value().joined, 20u);
+  EXPECT_EQ(net.alive_count(), 50u);
+}
+
+}  // namespace
+}  // namespace oscar

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace oscar {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status err = Status::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+  std::ostringstream os;
+  os << err;
+  EXPECT_EQ(os.str(), "boom");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 7;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+
+  Result<int> bad = Status::Error("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "nope");
+}
+
+TEST(ResultTest, RvalueValueMoves) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StringUtilTest, StrCatAndFormats) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.0), "a1b2");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.0, 1), "0.0");
+  EXPECT_EQ(FormatPercent(0.853), "85.3%");
+  EXPECT_EQ(FormatPercent(0.5, 0), "50%");
+}
+
+TEST(StatsTest, RunningStats) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 6.0}) stats.Push(x);
+  EXPECT_EQ(stats.Count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 6.0);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 75), 4.0);
+}
+
+TEST(StatsTest, GiniExtremes) {
+  EXPECT_DOUBLE_EQ(Gini({1, 1, 1, 1}), 0.0);
+  // All mass on one of n: gini -> (n-1)/n.
+  EXPECT_NEAR(Gini({0, 0, 0, 10}), 0.75, 1e-12);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPrintsTitle) {
+  TablePrinter table("demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddNumericRow("curve", {0.5, 1.25}, 2);
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oscar

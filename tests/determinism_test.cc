@@ -1,0 +1,54 @@
+// Deterministic-replay guard: two simulations with the same seed must
+// produce byte-identical search-cost rows; a different seed must not.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/experiments.h"
+
+namespace oscar {
+namespace {
+
+ExperimentScale TinyScale(uint64_t seed) {
+  ExperimentScale scale;
+  scale.target_size = 120;
+  scale.queries = 40;
+  scale.seed = seed;
+  scale.checkpoints = {60, 120};
+  return scale;
+}
+
+std::string RowsAsBytes(const std::vector<SearchCostRow>& rows) {
+  std::ostringstream os;
+  for (const SearchCostRow& row : rows) {
+    os << row.series << '|' << row.churn_fraction << '|' << row.network_size
+       << '|' << row.avg_cost << '|' << row.avg_wasted << '|'
+       << row.success_rate << '\n';
+  }
+  return os.str();
+}
+
+TEST(DeterminismTest, SameSeedSameBytes) {
+  auto first = RunSearchCostVsSize(TinyScale(42), {"constant"},
+                                   {0.0, 0.10}, OscarFactory());
+  auto second = RunSearchCostVsSize(TinyScale(42), {"constant"},
+                                    {0.0, 0.10}, OscarFactory());
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(RowsAsBytes(first.value()), RowsAsBytes(second.value()));
+}
+
+TEST(DeterminismTest, DifferentSeedDifferentRun) {
+  auto first = RunSearchCostVsSize(TinyScale(42), {"constant"}, {0.0},
+                                   OscarFactory());
+  auto second = RunSearchCostVsSize(TinyScale(43), {"constant"}, {0.0},
+                                    OscarFactory());
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_NE(RowsAsBytes(first.value()), RowsAsBytes(second.value()));
+}
+
+}  // namespace
+}  // namespace oscar

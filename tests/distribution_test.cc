@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.h"
+#include "degree/constant_degree.h"
+#include "degree/spiky_degree.h"
+#include "degree/stepped_degree.h"
+#include "keyspace/gnutella_distribution.h"
+#include "keyspace/key_distribution.h"
+
+namespace oscar {
+namespace {
+
+TEST(SpikyDegreeTest, MeanIsExactly27) {
+  const auto dist = SpikyDegreeDistribution::Paper();
+  double mean = 0.0, total = 0.0;
+  for (const auto& [degree, p] : dist.Pmf()) {
+    mean += p * degree;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(mean, 27.0, 1e-9);
+}
+
+TEST(SpikyDegreeTest, SpikeAt27DominatesAndTailIsHeavy) {
+  const auto dist = SpikyDegreeDistribution::Paper();
+  double p26 = 0, p27 = 0, p28 = 0, tail = 0;
+  for (const auto& [degree, p] : dist.Pmf()) {
+    if (degree == 26) p26 = p;
+    if (degree == 27) p27 = p;
+    if (degree == 28) p28 = p;
+    if (degree > 64) tail += p;
+  }
+  EXPECT_GT(p27, 3 * p26);
+  EXPECT_GT(p27, 3 * p28);
+  EXPECT_GT(tail, 1e-3);
+}
+
+TEST(SpikyDegreeTest, SamplesStayInSupport) {
+  const auto dist = SpikyDegreeDistribution::Paper();
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const DegreeCaps caps = dist.Sample(&rng);
+    EXPECT_GE(caps.max_in, 1u);
+    EXPECT_LE(caps.max_in, 128u);
+    EXPECT_EQ(caps.max_in, caps.max_out);
+  }
+}
+
+TEST(SteppedDegreeTest, MeanIs27) {
+  SteppedDegreeDistribution dist;
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += dist.Sample(&rng).max_in;
+  EXPECT_NEAR(sum / n, 27.0, 0.2);
+}
+
+TEST(ConstantDegreeTest, RejectsZeroCaps) {
+  EXPECT_FALSE(ConstantDegreeDistribution::Make(0, 5).ok());
+  EXPECT_FALSE(ConstantDegreeDistribution::Make(5, 0).ok());
+  ASSERT_TRUE(ConstantDegreeDistribution::Make(3, 4).ok());
+}
+
+TEST(GnutellaKeysTest, SkewConcentratesMass) {
+  auto dist = GnutellaKeyDistribution::Make();
+  ASSERT_TRUE(dist.ok());
+  Rng rng(11);
+  // Measure mass landing in the densest 10% of the ring via histogram.
+  std::vector<int> bins(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = dist.value().Sample(&rng).unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    ++bins[static_cast<size_t>(u * 100)];
+  }
+  std::sort(bins.begin(), bins.end());
+  int top10 = 0;
+  for (size_t i = 90; i < 100; ++i) top10 += bins[i];
+  // Uniform would put ~10% in the top decile; Gnutella-like skew puts
+  // several times that.
+  EXPECT_GT(static_cast<double>(top10) / n, 0.35);
+}
+
+TEST(MakeKeyDistributionTest, KnownAndUnknownNames) {
+  for (const char* name : {"uniform", "gnutella", "clustered"}) {
+    auto dist = MakeKeyDistribution(name);
+    ASSERT_TRUE(dist.ok()) << name;
+    EXPECT_EQ(dist.value()->name(), name);
+  }
+  EXPECT_FALSE(MakeKeyDistribution("zipf").ok());
+}
+
+TEST(MakePaperDegreeDistributionTest, KnownAndUnknownNames) {
+  for (const char* name : {"constant", "realistic", "stepped"}) {
+    auto dist = MakePaperDegreeDistribution(name);
+    ASSERT_TRUE(dist.ok()) << name;
+    EXPECT_EQ(dist.value()->name(), name);
+  }
+  EXPECT_FALSE(MakePaperDegreeDistribution("powerlaw").ok());
+}
+
+}  // namespace
+}  // namespace oscar

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "overlay/kleinberg/kleinberg_overlay.h"
+#include "sampling/oracle_sampler.h"
+#include "sampling/random_walk_sampler.h"
+#include "sampling/size_estimator.h"
+
+namespace oscar {
+namespace {
+
+Network LinkedNetwork(size_t n, uint64_t seed) {
+  Network net;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{8, 8});
+  }
+  KleinbergOverlay overlay;
+  for (PeerId id : net.AlivePeers()) {
+    EXPECT_TRUE(overlay.BuildLinks(&net, id, &rng).ok());
+  }
+  return net;
+}
+
+TEST(OracleSamplerTest, SamplesInsideSegment) {
+  Network net = LinkedNetwork(200, 1);
+  OracleSegmentSampler sampler;
+  Rng rng(2);
+  const KeyId from = KeyId::FromUnit(0.2), to = KeyId::FromUnit(0.6);
+  for (int i = 0; i < 100; ++i) {
+    auto sample = sampler.SampleInSegment(net, 0, from, to, &rng);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_TRUE(
+        InClockwiseSegment(net.peer(sample.value().peer).key, from, to));
+  }
+}
+
+TEST(OracleSamplerTest, EmptySegmentFails) {
+  Network net = LinkedNetwork(10, 3);
+  OracleSegmentSampler sampler;
+  Rng rng(4);
+  const KeyId point = KeyId::FromUnit(0.5);
+  EXPECT_FALSE(sampler.SampleInSegment(net, 0, point, point, &rng).ok());
+}
+
+TEST(RandomWalkSamplerTest, SamplesInsideSegmentIncludingSeam) {
+  Network net = LinkedNetwork(300, 5);
+  RandomWalkSegmentSampler sampler;
+  Rng rng(6);
+  const PeerId origin = net.AlivePeers().front();
+  // A seam-wrapping segment.
+  const KeyId from = KeyId::FromUnit(0.9), to = KeyId::FromUnit(0.2);
+  for (int i = 0; i < 50; ++i) {
+    auto sample = sampler.SampleInSegment(net, origin, from, to, &rng);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_TRUE(
+        InClockwiseSegment(net.peer(sample.value().peer).key, from, to));
+    EXPECT_GT(sample.value().steps, 0u);
+  }
+}
+
+TEST(RandomWalkSamplerTest, TinySegmentFallsBackToRouting) {
+  Network net = LinkedNetwork(300, 7);
+  RandomWalkSegmentSampler sampler;
+  Rng rng(8);
+  const PeerId origin = net.AlivePeers().front();
+  // Segment holding exactly one peer: the successor region of some peer.
+  const Ring& ring = net.ring();
+  const KeyId from = KeyId::FromRaw(ring.at(42).key_raw);
+  const KeyId to = KeyId::FromRaw(ring.at(43).key_raw);
+  ASSERT_EQ(ring.CountInSegment(from, to), 1u);
+  auto sample = sampler.SampleInSegment(net, origin, from, to, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().peer, ring.at(42).id);
+}
+
+TEST(SizeEstimatorTest, OracleIsExact) {
+  Network net = LinkedNetwork(128, 9);
+  Rng rng(10);
+  OracleSizeEstimator oracle;
+  EXPECT_DOUBLE_EQ(oracle.Estimate(net, 0, &rng), 128.0);
+}
+
+TEST(SizeEstimatorTest, GapEstimatorIsRightOrderOfMagnitudeOnUniform) {
+  Network net = LinkedNetwork(1000, 11);
+  Rng rng(12);
+  GapSizeEstimator gap(16);
+  // Average over peers: individually noisy, collectively near N.
+  double sum = 0.0;
+  const std::vector<PeerId> peers = net.AlivePeers();
+  for (size_t i = 0; i < peers.size(); i += 10) {
+    sum += gap.Estimate(net, peers[i], &rng);
+  }
+  const double mean = sum / (static_cast<double>(peers.size()) / 10.0);
+  EXPECT_GT(mean, 250.0);
+  EXPECT_LT(mean, 4000.0);
+}
+
+TEST(SizeEstimatorTest, NamesIdentifyVariants) {
+  EXPECT_EQ(OracleSizeEstimator().name(), "oracle");
+  EXPECT_EQ(GapSizeEstimator(8).name(), "gap(w=8)");
+}
+
+}  // namespace
+}  // namespace oscar

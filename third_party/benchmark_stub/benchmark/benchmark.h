@@ -1,0 +1,105 @@
+// Minimal drop-in subset of the google-benchmark API, used only when
+// the real library is unavailable (see OSCAR_FORCE_BENCHMARK_STUB in
+// the root CMakeLists). Runs every registered benchmark for a fixed
+// iteration budget and reports wall-clock per iteration — enough to
+// keep bench/micro_core.cc building and producing comparable numbers,
+// not a statistical replacement for the real thing.
+
+#ifndef OSCAR_THIRD_PARTY_BENCHMARK_STUB_BENCHMARK_H_
+#define OSCAR_THIRD_PARTY_BENCHMARK_STUB_BENCHMARK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+class State {
+ public:
+  State(std::vector<int64_t> args, size_t iterations)
+      : args_(std::move(args)), iterations_(iterations) {}
+
+  // Marked maybe_unused so `for (auto _ : state)` does not trip
+  // -Wunused-variable (same trick as the real google-benchmark).
+  struct [[maybe_unused]] IterationToken {};
+  struct Iterator {
+    size_t remaining;
+    bool operator!=(const Iterator& other) const {
+      return remaining != other.remaining;
+    }
+    Iterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    IterationToken operator*() const { return IterationToken(); }
+  };
+  Iterator begin() { return Iterator{iterations_}; }
+  Iterator end() { return Iterator{0}; }
+
+  int64_t range(size_t index = 0) const {
+    return index < args_.size() ? args_[index] : 0;
+  }
+
+  /// Timing annotations; the stub charges paused time too (documented
+  /// inaccuracy — setup-heavy benchmarks read high here).
+  void PauseTiming() {}
+  void ResumeTiming() {}
+
+  size_t iterations() const { return iterations_; }
+
+ private:
+  std::vector<int64_t> args_;
+  size_t iterations_;
+};
+
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  (void)value;
+#endif
+}
+
+namespace internal {
+
+struct Registration {
+  std::string name;
+  std::function<void(State&)> fn;
+  std::vector<int64_t> args;  // One run per entry; one argless run if empty.
+  TimeUnit unit = kNanosecond;
+};
+
+std::vector<Registration>& Registry();
+
+class Handle {
+ public:
+  explicit Handle(size_t index) : index_(index) {}
+  Handle* Arg(int64_t value);
+  Handle* Unit(TimeUnit unit);
+
+ private:
+  size_t index_;
+};
+
+Handle* Register(const std::string& name, std::function<void(State&)> fn);
+
+}  // namespace internal
+
+/// Runs all registered benchmarks; returns 0.
+int RunAllStubBenchmarks();
+
+}  // namespace benchmark
+
+#define BENCHMARK_STUB_CONCAT_IMPL(a, b) a##b
+#define BENCHMARK_STUB_CONCAT(a, b) BENCHMARK_STUB_CONCAT_IMPL(a, b)
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::internal::Handle* BENCHMARK_STUB_CONCAT(    \
+      benchmark_stub_reg_, __LINE__) =                            \
+      ::benchmark::internal::Register(#fn, fn)
+
+#endif  // OSCAR_THIRD_PARTY_BENCHMARK_STUB_BENCHMARK_H_

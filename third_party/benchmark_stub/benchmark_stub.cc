@@ -1,0 +1,85 @@
+#include <chrono>
+#include <cstdio>
+
+#include "benchmark/benchmark.h"
+
+namespace benchmark {
+namespace internal {
+
+std::vector<Registration>& Registry() {
+  static std::vector<Registration> registry;
+  return registry;
+}
+
+Handle* Handle::Arg(int64_t value) {
+  Registry()[index_].args.push_back(value);
+  return this;
+}
+
+Handle* Handle::Unit(TimeUnit unit) {
+  Registry()[index_].unit = unit;
+  return this;
+}
+
+Handle* Register(const std::string& name, std::function<void(State&)> fn) {
+  Registry().push_back(Registration{name, std::move(fn), {}, kNanosecond});
+  // Handles live forever: BENCHMARK() stores the pointer in a static.
+  return new Handle(Registry().size() - 1);
+}
+
+}  // namespace internal
+
+namespace {
+
+void RunOne(const internal::Registration& reg,
+            const std::vector<int64_t>& args) {
+  constexpr size_t kIterations = 64;
+  State state(args, kIterations);
+  const auto start = std::chrono::steady_clock::now();
+  reg.fn(state);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns_per_iter =
+      std::chrono::duration<double, std::nano>(elapsed).count() /
+      static_cast<double>(kIterations);
+  std::string label = reg.name;
+  for (int64_t arg : args) label += "/" + std::to_string(arg);
+  double value = ns_per_iter;
+  const char* unit = "ns";
+  switch (reg.unit) {
+    case kMicrosecond:
+      value = ns_per_iter / 1e3;
+      unit = "us";
+      break;
+    case kMillisecond:
+      value = ns_per_iter / 1e6;
+      unit = "ms";
+      break;
+    case kSecond:
+      value = ns_per_iter / 1e9;
+      unit = "s";
+      break;
+    case kNanosecond:
+      break;
+  }
+  std::printf("%-48s %14.1f %s/iter (stub, %zu iters)\n", label.c_str(),
+              value, unit, kIterations);
+}
+
+}  // namespace
+
+int RunAllStubBenchmarks() {
+  std::printf("[benchmark stub: google-benchmark unavailable; fixed %s]\n",
+              "iteration budget, coarse wall-clock timing only");
+  for (const internal::Registration& reg : internal::Registry()) {
+    if (reg.args.empty()) {
+      RunOne(reg, {});
+    } else {
+      for (int64_t arg : reg.args) RunOne(reg, {arg});
+    }
+  }
+  return 0;
+}
+
+}  // namespace benchmark
+
+int main() { return benchmark::RunAllStubBenchmarks(); }
