@@ -16,6 +16,22 @@
 //      infrastructure failures (an experiment returning an error
 //      Status), distinct from a clean run with violated claims.
 //
+// Environment knobs (one naming convention, `OSCAR_BENCH_*`, shared by
+// every harness AND the `tools/oscar_sim` scenario runner — all of them
+// resolve scale through `ScaleFromEnv`):
+//
+//   OSCAR_BENCH_SCALE    "small" (default; seconds per harness) or
+//                        "paper" (the paper's 10k-peer runs).
+//   OSCAR_BENCH_SIZE     overrides the target network size; checkpoints
+//                        become size/4, size/2, size.
+//   OSCAR_BENCH_QUERIES  overrides queries per evaluation point (for
+//                        oscar_sim: lookups per scenario).
+//   OSCAR_BENCH_SEED     overrides the deterministic seed (default 42).
+//
+// Unparsable values fall back to the defaults silently (by design —
+// a CI environment with a stray variable should still produce a run).
+// Two runs with identical knobs print byte-identical output.
+//
 // This header is self-contained on top of core/experiments.h — it pulls
 // in the ExperimentScale/row types the signatures below need.
 

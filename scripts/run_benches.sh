@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs every runnable figure/xtab harness at smoke scale and fails on
+# any nonzero exit or `# shape-check: ... VIOLATED` line. micro_core is
+# excluded: it is a wall-clock microbenchmark with no shape checks.
+#
+#   scripts/run_benches.sh [build_dir]     (default: build)
+#
+# Also reachable as `cmake --build build --target run_benches`. Scale
+# knobs (OSCAR_BENCH_SCALE/SIZE/QUERIES/SEED) pass through to the
+# harnesses.
+
+set -u
+
+build_dir="${1:-build}"
+
+harnesses=(
+  fig1a_degree_pdf
+  fig1b_degree_load
+  fig1c_search_cost
+  fig2_churn
+  xtab_latency
+  xtab_link_geometry
+  xtab_maintenance
+  xtab_outdegree_ablation
+  xtab_overlay_comparison
+  xtab_p2c_ablation
+  xtab_replication
+  xtab_routing_load
+  xtab_sampling_ablation
+  xtab_size_estimator
+)
+
+fail=0
+for harness in "${harnesses[@]}"; do
+  bin="${build_dir}/${harness}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "run_benches: MISSING ${harness} (build it first)" >&2
+    fail=1
+    continue
+  fi
+  log="${build_dir}/${harness}.run_benches.log"
+  "${bin}" > "${log}" 2>&1
+  status=$?
+  if [[ "${status}" -ne 0 ]]; then
+    echo "run_benches: FAIL(exit=${status}) ${harness} — see ${log}" >&2
+    fail=1
+  fi
+  if grep -q "shape-check:.*VIOLATED" "${log}"; then
+    echo "run_benches: FAIL(shape-check) ${harness}:" >&2
+    grep "shape-check:.*VIOLATED" "${log}" >&2
+    fail=1
+  fi
+done
+
+if [[ "${fail}" -eq 0 ]]; then
+  echo "run_benches: all ${#harnesses[@]} harnesses passed"
+fi
+exit "${fail}"

@@ -26,6 +26,37 @@ Result<size_t> CrashFraction(Network* net, double fraction, Rng* rng) {
   return to_crash;
 }
 
+namespace {
+
+/// One churn round: `leaves` uniform crashes (never the last alive
+/// peer) then `joins` wired joins. Shared by the synchronous rounds and
+/// the event-scheduled handler.
+Status OneChurnRound(Network* net, size_t leaves, size_t joins,
+                     const KeyDistribution& keys,
+                     const DegreeDistribution& degrees,
+                     const RebuildFn& rebuild, Rng* rng, size_t* left,
+                     size_t* joined) {
+  std::vector<PeerId> alive = net->AlivePeers();
+  const size_t to_crash =
+      std::min(leaves, alive.size() > 1 ? alive.size() - 1 : 0);
+  for (size_t i = 0; i < to_crash; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng->UniformInt(alive.size() - i));
+    std::swap(alive[i], alive[j]);
+    net->Crash(alive[i]);
+    ++*left;
+  }
+  for (size_t i = 0; i < joins; ++i) {
+    const PeerId id = net->Join(keys.Sample(rng), degrees.Sample(rng));
+    const Status status = rebuild(net, id, rng);
+    if (!status.ok()) return status;
+    ++*joined;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Result<RollingChurnReport> RollingChurn(Network* net,
                                         const RollingChurnOptions& options,
                                         const KeyDistribution& keys,
@@ -39,25 +70,52 @@ Result<RollingChurnReport> RollingChurn(Network* net,
   }
   RollingChurnReport report;
   for (int round = 0; round < options.rounds; ++round) {
-    std::vector<PeerId> alive = net->AlivePeers();
-    const size_t leaves = std::min(
-        options.leaves_per_round,
-        alive.size() > 1 ? alive.size() - 1 : 0);
-    for (size_t i = 0; i < leaves; ++i) {
-      const size_t j =
-          i + static_cast<size_t>(rng->UniformInt(alive.size() - i));
-      std::swap(alive[i], alive[j]);
-      net->Crash(alive[i]);
-      ++report.left;
-    }
-    for (size_t i = 0; i < options.joins_per_round; ++i) {
-      const PeerId id = net->Join(keys.Sample(rng), degrees.Sample(rng));
-      const Status status = rebuild(net, id, rng);
-      if (!status.ok()) return status;
-      ++report.joined;
-    }
+    const Status status =
+        OneChurnRound(net, options.leaves_per_round, options.joins_per_round,
+                      keys, degrees, rebuild, rng, &report.left,
+                      &report.joined);
+    if (!status.ok()) return status;
   }
   return report;
+}
+
+Result<size_t> CrashSegment(Network* net, KeyId from, double span) {
+  if (span < 0.0 || span >= 1.0) {
+    return Status::Error(
+        StrCat("crash segment: span must be in [0, 1), got ", span));
+  }
+  const KeyId to = from.OffsetBy(span);
+  std::vector<PeerId> victims;
+  for (PeerId id : net->AlivePeers()) {
+    if (InClockwiseSegment(net->peer(id).key, from, to)) {
+      victims.push_back(id);
+    }
+  }
+  // A region covering everyone still leaves one survivor (ring-order
+  // last), mirroring CrashFraction's guarantee.
+  if (victims.size() == net->alive_count() && !victims.empty()) {
+    victims.pop_back();
+  }
+  for (PeerId id : victims) net->Crash(id);
+  return victims.size();
+}
+
+void ScheduleChurn(EventEngine* engine, Network* net,
+                   const ChurnScheduleOptions& options,
+                   const KeyDistribution& keys,
+                   const DegreeDistribution& degrees, const RebuildFn& rebuild,
+                   Rng* rng, ChurnScheduleReport* report) {
+  for (int event = 0; event < options.events; ++event) {
+    const SimTime at =
+        options.start_ms + static_cast<double>(event) * options.interval_ms;
+    engine->ScheduleAt(at, [net, options, &keys, &degrees, rebuild, rng,
+                            report] {
+      if (!report->status.ok()) return;  // A rebuild already failed.
+      report->status = OneChurnRound(
+          net, options.leaves_per_event, options.joins_per_event, keys,
+          degrees, rebuild, rng, &report->left, &report->joined);
+    });
+  }
 }
 
 }  // namespace oscar

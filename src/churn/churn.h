@@ -1,5 +1,7 @@
-// Churn processes: one-shot crash waves (the paper's Fig 2 setup) and a
-// continuous leave/join process for steady-state experiments (X8).
+// Churn processes: one-shot crash waves (the paper's Fig 2 setup), a
+// continuous leave/join process for steady-state experiments (X8),
+// correlated regional crashes, and event-scheduled churn that fires on
+// the discrete-event engine while lookups are in flight.
 
 #ifndef OSCAR_CHURN_CHURN_H_
 #define OSCAR_CHURN_CHURN_H_
@@ -10,6 +12,7 @@
 #include "core/network.h"
 #include "degree/degree_distribution.h"
 #include "keyspace/key_distribution.h"
+#include "sim/event_engine.h"
 
 namespace oscar {
 
@@ -40,6 +43,42 @@ Result<RollingChurnReport> RollingChurn(Network* net,
                                         const KeyDistribution& keys,
                                         const DegreeDistribution& degrees,
                                         const RebuildFn& rebuild, Rng* rng);
+
+/// Crashes every alive peer whose key lies in the clockwise segment
+/// [from, from + span) — a correlated regional failure (all peers of
+/// one data center / prefix going down together). Always leaves at
+/// least one peer alive. Returns the number crashed. Fails when span is
+/// outside [0, 1).
+Result<size_t> CrashSegment(Network* net, KeyId from, double span);
+
+struct ChurnScheduleOptions {
+  SimTime start_ms = 0.0;     // When the first event fires.
+  SimTime interval_ms = 0.0;  // Spacing between events.
+  int events = 0;
+  size_t leaves_per_event = 0;
+  size_t joins_per_event = 0;
+};
+
+/// Filled in as scheduled events fire; `status` latches the first
+/// rebuild failure (events after a failure do nothing).
+struct ChurnScheduleReport {
+  size_t left = 0;
+  size_t joined = 0;
+  Status status;
+};
+
+/// Schedules `events` churn events on the engine: each crashes
+/// `leaves_per_event` uniformly chosen peers (never the last one) and
+/// joins `joins_per_event` new peers wired via `rebuild`. All borrowed
+/// references must outlive the engine run. This is how stale links,
+/// in-flight lookups racing crashes, and timeout-driven recovery enter
+/// the message-level simulation — failures land *between* message
+/// events, never at convenient barriers.
+void ScheduleChurn(EventEngine* engine, Network* net,
+                   const ChurnScheduleOptions& options,
+                   const KeyDistribution& keys,
+                   const DegreeDistribution& degrees, const RebuildFn& rebuild,
+                   Rng* rng, ChurnScheduleReport* report);
 
 }  // namespace oscar
 

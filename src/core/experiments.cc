@@ -84,6 +84,17 @@ OverlayFactory KleinbergFactory() {
   return [] { return std::make_shared<KleinbergOverlay>(); };
 }
 
+Result<OverlayFactory> MakeNamedOverlay(const std::string& name) {
+  if (name == "oscar") return OscarFactory();
+  if (name == "oscar-nop2c") return OscarNoP2cFactory();
+  if (name == "mercury") return MercuryFactory();
+  if (name == "chord") return ChordFactory();
+  if (name == "kleinberg") return KleinbergFactory();
+  return Status::Error(
+      StrCat("unknown overlay: '", name,
+             "' (expected oscar|oscar-nop2c|mercury|chord|kleinberg)"));
+}
+
 namespace {
 
 /// Shared growth-config plumbing for the runners.

@@ -46,6 +46,10 @@ OverlayFactory MercuryFactory();
 OverlayFactory ChordFactory();
 OverlayFactory KleinbergFactory();
 
+/// Factory lookup by harness/CLI name:
+/// "oscar" | "oscar-nop2c" | "mercury" | "chord" | "kleinberg".
+Result<OverlayFactory> MakeNamedOverlay(const std::string& name);
+
 // ---- Experiment row types ----------------------------------------------
 
 /// One (series, churn, size) cell of a search-cost-vs-size figure.

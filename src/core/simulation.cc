@@ -12,6 +12,21 @@
 
 namespace oscar {
 
+QuerySample SampleQuery(const Network& net, const SearchOptions& options,
+                        const std::vector<PeerId>& alive, Rng* rng) {
+  QuerySample sample;
+  if (options.source_by_key) {
+    sample.source = *net.OwnerOf(KeyId::FromUnit(rng->NextDouble()));
+  } else {
+    sample.source =
+        alive[static_cast<size_t>(rng->UniformInt(alive.size()))];
+  }
+  sample.key = options.query_distribution != nullptr
+                   ? options.query_distribution->Sample(rng)
+                   : KeyId::FromUnit(rng->NextDouble());
+  return sample;
+}
+
 SearchEvaluation EvaluateSearch(const Network& net, const Router& router,
                                 const SearchOptions& options, Rng* rng) {
   SearchEvaluation eval;
@@ -23,19 +38,12 @@ SearchEvaluation EvaluateSearch(const Network& net, const Router& router,
   double wasted_total = 0.0;
   size_t successes = 0;
   for (size_t q = 0; q < options.num_queries; ++q) {
-    PeerId source;
-    if (options.source_by_key) {
-      source = *net.OwnerOf(KeyId::FromUnit(rng->NextDouble()));
-    } else {
-      source = alive[static_cast<size_t>(rng->UniformInt(alive.size()))];
-    }
-    const KeyId key = options.query_distribution != nullptr
-                          ? options.query_distribution->Sample(rng)
-                          : KeyId::FromUnit(rng->NextDouble());
-    const RouteResult route = router.Route(net, source, key);
+    const QuerySample query = SampleQuery(net, options, alive, rng);
+    const RouteResult route = router.Route(net, query.source, query.key);
     if (route.success) ++successes;
     costs.push_back(route.Cost());
     wasted_total += route.wasted;
+    if (options.per_route) options.per_route(route);
   }
   double total = 0.0;
   for (double c : costs) total += c;

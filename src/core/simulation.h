@@ -29,7 +29,23 @@ struct SearchOptions {
   /// crashed copies of the same network — the variance-reduction trick
   /// the churn figures rely on.
   bool source_by_key = false;
+  /// Optional per-route observer, invoked once per query with the raw
+  /// route (the message-level cross-check compares these hop-by-hop).
+  std::function<void(const RouteResult&)> per_route;
 };
+
+/// One (source, key) query draw.
+struct QuerySample {
+  PeerId source = 0;
+  KeyId key;
+};
+
+/// Draws one query exactly as EvaluateSearch does (same rng consumption
+/// order), so an external driver — the message-level simulator — can
+/// replay the identical query stream from the same seed. `alive` must
+/// be the network's current AlivePeers() list.
+QuerySample SampleQuery(const Network& net, const SearchOptions& options,
+                        const std::vector<PeerId>& alive, Rng* rng);
 
 struct SearchEvaluation {
   double avg_cost = 0.0;      // Mean hops + wasted messages per query.

@@ -1,0 +1,62 @@
+// Aggregations for message-level simulation runs: end-to-end latency
+// percentiles, time-weighted in-flight concurrency, and per-peer
+// forwarding load (how unevenly the message traffic lands on peers —
+// the load story of the flash-crowd scenarios).
+
+#ifndef OSCAR_METRICS_MESSAGE_METRICS_H_
+#define OSCAR_METRICS_MESSAGE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oscar {
+
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Summarizes a latency sample (empty input => all zeros).
+LatencySummary SummarizeLatency(std::vector<double> samples_ms);
+
+/// Time-weighted tracker of a gauge (the number of in-flight lookups):
+/// feed every change with the virtual time it happened at; read back
+/// the peak and the time-weighted mean.
+class ConcurrencyTracker {
+ public:
+  void Add(double now_ms, int delta);
+  size_t current() const { return current_; }
+  size_t peak() const { return peak_; }
+  /// Mean gauge value over [first Add, now_ms]; 0 before any Add.
+  double TimeWeightedMean(double now_ms) const;
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+  double integral_ = 0.0;  // ∫ gauge dt since first Add.
+  double first_ms_ = 0.0;
+  double last_ms_ = 0.0;
+  bool started_ = false;
+};
+
+struct PeerLoadSummary {
+  double mean = 0.0;       // Messages per peer (over `population` peers).
+  uint64_t max = 0;        // Busiest peer's message count.
+  double peak_to_mean = 0.0;
+  double gini = 0.0;       // Inequality of the load distribution.
+  size_t population = 0;   // Peers the summary averages over.
+};
+
+/// Summarizes per-peer message counts. Only the first `population`
+/// semantics matter to callers: pass counts for every peer that could
+/// have carried traffic (zeros included) so the inequality numbers
+/// reflect idle peers too.
+PeerLoadSummary SummarizePeerLoad(const std::vector<uint64_t>& counts);
+
+}  // namespace oscar
+
+#endif  // OSCAR_METRICS_MESSAGE_METRICS_H_

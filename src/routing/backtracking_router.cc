@@ -1,70 +1,20 @@
 #include "routing/backtracking_router.h"
 
-#include <algorithm>
-#include <unordered_set>
+#include "routing/route_stepper.h"
 
 namespace oscar {
 
 RouteResult BacktrackingRouter::Route(const Network& net, PeerId source,
                                       KeyId target) const {
-  RouteResult result;
-  result.terminal = source;
-  result.path.push_back(source);
-  const auto owner = net.OwnerOf(target);
-  if (!owner.has_value() || !net.peer(source).alive) return result;
-
-  std::unordered_set<PeerId> visited = {source};
-  std::unordered_set<PeerId> probed_dead;
-  std::vector<PeerId> stack = {source};
-  std::vector<PeerId> neighbors;
-  std::vector<std::pair<uint64_t, PeerId>> ordered;
+  BacktrackingStepper stepper;
+  stepper.Start(net, source, target);
   const size_t max_messages = 8 * net.alive_count() + 64;
-
-  while (!stack.empty() &&
-         result.hops + result.wasted < max_messages) {
-    const PeerId current = stack.back();
-    if (current == *owner) {
-      result.success = true;
-      result.terminal = current;
-      return result;
-    }
-    neighbors.clear();
-    net.AppendNeighbors(current, &neighbors);
-    ordered.clear();
-    for (PeerId candidate : neighbors) {
-      ordered.emplace_back(RingDistance(net.peer(candidate).key, target),
-                           candidate);
-    }
-    std::sort(ordered.begin(), ordered.end());
-
-    PeerId next = current;
-    bool found = false;
-    for (const auto& [distance, candidate] : ordered) {
-      (void)distance;
-      if (visited.count(candidate) != 0) continue;
-      if (!net.peer(candidate).alive) {
-        // First probe of a dead neighbor costs a message; remember it so
-        // revisits after backtracking don't double-charge.
-        if (probed_dead.insert(candidate).second) ++result.wasted;
-        continue;
-      }
-      next = candidate;
-      found = true;
-      break;
-    }
-    if (found) {
-      visited.insert(next);
-      stack.push_back(next);
-      ++result.hops;
-      result.path.push_back(next);
-    } else {
-      stack.pop_back();  // Dead end: return the query to the previous hop.
-      ++result.wasted;
-    }
+  while (!stepper.done() &&
+         stepper.result().hops + stepper.result().wasted < max_messages) {
+    stepper.Step(net);
   }
-  result.terminal = stack.empty() ? source : stack.back();
-  result.success = !stack.empty() && stack.back() == *owner;
-  return result;
+  if (!stepper.done()) stepper.Abandon(net);
+  return stepper.result();
 }
 
 }  // namespace oscar

@@ -1,75 +1,21 @@
 #include "routing/greedy_router.h"
 
+#include "routing/route_stepper.h"
+
 namespace oscar {
 
 RouteResult GreedyRouter::Route(const Network& net, PeerId source,
                                 KeyId target) const {
-  RouteResult result;
-  result.terminal = source;
-  result.path.push_back(source);
-  const auto owner = net.OwnerOf(target);
-  if (!owner.has_value() || !net.peer(source).alive) return result;
-
-  PeerId current = source;
-  std::vector<PeerId> neighbors;
+  GreedyStepper stepper;
+  stepper.Start(net, source, target);
   // The ring guarantees strict progress, so the only loop bound needed
   // is a generous safety net against substrate bugs.
   const size_t max_steps = 4 * net.alive_count() + 16;
-  for (size_t step = 0; step < max_steps; ++step) {
-    if (current == *owner) {
-      result.success = true;
-      result.terminal = current;
-      return result;
-    }
-    neighbors.clear();
-    net.AppendNeighbors(current, &neighbors);
-    const uint64_t here = RingDistance(net.peer(current).key, target);
-    bool moved = false;
-    PeerId best = current;
-    uint64_t best_distance = here;
-    for (PeerId candidate : neighbors) {
-      const Peer& peer = net.peer(candidate);
-      if (!peer.alive) continue;  // Dead probes are charged lazily below.
-      const uint64_t d = RingDistance(peer.key, target);
-      if (d < best_distance) {
-        best = candidate;
-        best_distance = d;
-        moved = true;
-      }
-    }
-    if (!moved) break;  // No strict progress: substrate violation.
-    // Capacity-aware relaxation: any strictly-closer candidate within
-    // 50% of the best distance makes comparable progress; prefer the
-    // one with the largest declared in-budget.
-    const uint64_t band =
-        best_distance + best_distance / 2 < best_distance
-            ? UINT64_MAX
-            : best_distance + best_distance / 2;
-    for (PeerId candidate : neighbors) {
-      const Peer& peer = net.peer(candidate);
-      if (!peer.alive || candidate == best) continue;
-      const uint64_t d = RingDistance(peer.key, target);
-      if (d < here && d <= band &&
-          peer.caps.max_in > net.peer(best).caps.max_in) {
-        best = candidate;
-      }
-    }
-    best_distance = RingDistance(net.peer(best).key, target);
-    // Charge probes for dead long links that looked strictly better than
-    // the hop we ended up taking (the peer would have tried them first).
-    for (PeerId candidate : neighbors) {
-      const Peer& peer = net.peer(candidate);
-      if (!peer.alive && RingDistance(peer.key, target) < best_distance) {
-        ++result.wasted;
-      }
-    }
-    current = best;
-    ++result.hops;
-    result.path.push_back(current);
+  for (size_t step = 0; step < max_steps && !stepper.done(); ++step) {
+    stepper.Step(net);
   }
-  result.terminal = current;
-  result.success = current == *owner;
-  return result;
+  if (!stepper.done()) stepper.Abandon(net);
+  return stepper.result();
 }
 
 }  // namespace oscar

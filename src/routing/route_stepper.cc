@@ -1,0 +1,232 @@
+#include "routing/route_stepper.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace oscar {
+
+// ---- GreedyStepper -------------------------------------------------------
+
+void GreedyStepper::Start(const Network& net, PeerId source, KeyId target) {
+  result_ = RouteResult{};
+  result_.terminal = source;
+  result_.path.push_back(source);
+  target_ = target;
+  current_ = source;
+  done_ = false;
+  const auto owner = net.OwnerOf(target);
+  if (!owner.has_value() || !net.peer(source).alive) done_ = true;
+}
+
+RouteStep GreedyStepper::Step(const Network& net) {
+  RouteStep step;
+  step.from = current_;
+  const auto owner = net.OwnerOf(target_);
+  if (owner.has_value() && current_ == *owner) {
+    result_.success = true;
+    result_.terminal = current_;
+    done_ = true;
+    step.kind = StepKind::kArrived;
+    return step;
+  }
+  neighbors_.clear();
+  net.AppendNeighbors(current_, &neighbors_);
+  const uint64_t here = RingDistance(net.peer(current_).key, target_);
+  bool moved = false;
+  PeerId best = current_;
+  uint64_t best_distance = here;
+  for (PeerId candidate : neighbors_) {
+    const Peer& peer = net.peer(candidate);
+    if (!peer.alive) continue;  // Dead probes are charged lazily below.
+    const uint64_t d = RingDistance(peer.key, target_);
+    if (d < best_distance) {
+      best = candidate;
+      best_distance = d;
+      moved = true;
+    }
+  }
+  if (!moved) {  // No strict progress: substrate violation.
+    result_.terminal = current_;
+    result_.success = owner.has_value() && current_ == *owner;
+    done_ = true;
+    step.kind = StepKind::kStuck;
+    return step;
+  }
+  // Capacity-aware relaxation: any strictly-closer candidate within
+  // 50% of the best distance makes comparable progress; prefer the
+  // one with the largest declared in-budget.
+  const uint64_t band =
+      best_distance + best_distance / 2 < best_distance
+          ? UINT64_MAX
+          : best_distance + best_distance / 2;
+  for (PeerId candidate : neighbors_) {
+    const Peer& peer = net.peer(candidate);
+    if (!peer.alive || candidate == best) continue;
+    const uint64_t d = RingDistance(peer.key, target_);
+    if (d < here && d <= band &&
+        peer.caps.max_in > net.peer(best).caps.max_in) {
+      best = candidate;
+    }
+  }
+  best_distance = RingDistance(net.peer(best).key, target_);
+  // Charge probes for dead long links that looked strictly better than
+  // the hop we ended up taking (the peer would have tried them first).
+  for (PeerId candidate : neighbors_) {
+    const Peer& peer = net.peer(candidate);
+    if (!peer.alive && RingDistance(peer.key, target_) < best_distance) {
+      ++result_.wasted;
+      ++step.dead_probes;
+    }
+  }
+  current_ = best;
+  ++result_.hops;
+  result_.path.push_back(current_);
+  result_.terminal = current_;
+  step.kind = StepKind::kForward;
+  step.to = best;
+  return step;
+}
+
+void GreedyStepper::Abandon(const Network& net) {
+  const auto owner = net.OwnerOf(target_);
+  result_.terminal = current_;
+  result_.success = owner.has_value() && current_ == *owner;
+  done_ = true;
+}
+
+bool GreedyStepper::FailDelivery(const Network& net) {
+  (void)net;
+  if (done_ || result_.path.size() < 2) return false;
+  result_.path.pop_back();
+  --result_.hops;
+  ++result_.wasted;  // The undelivered message is a timed-out probe.
+  current_ = result_.path.back();
+  result_.terminal = current_;
+  return true;
+}
+
+// ---- BacktrackingStepper -------------------------------------------------
+
+void BacktrackingStepper::Start(const Network& net, PeerId source,
+                                KeyId target) {
+  result_ = RouteResult{};
+  result_.terminal = source;
+  result_.path.push_back(source);
+  target_ = target;
+  source_ = source;
+  done_ = false;
+  visited_ = {source};
+  probed_dead_.clear();
+  stack_ = {source};
+  const auto owner = net.OwnerOf(target);
+  if (!owner.has_value() || !net.peer(source).alive) done_ = true;
+}
+
+RouteStep BacktrackingStepper::Step(const Network& net) {
+  RouteStep step;
+  const PeerId current = stack_.back();
+  step.from = current;
+  const auto owner = net.OwnerOf(target_);
+  if (owner.has_value() && current == *owner) {
+    result_.success = true;
+    result_.terminal = current;
+    done_ = true;
+    step.kind = StepKind::kArrived;
+    return step;
+  }
+  neighbors_.clear();
+  net.AppendNeighbors(current, &neighbors_);
+  ordered_.clear();
+  for (PeerId candidate : neighbors_) {
+    ordered_.emplace_back(RingDistance(net.peer(candidate).key, target_),
+                          candidate);
+  }
+  std::sort(ordered_.begin(), ordered_.end());
+
+  PeerId next = current;
+  bool found = false;
+  for (const auto& [distance, candidate] : ordered_) {
+    (void)distance;
+    if (visited_.count(candidate) != 0) continue;
+    if (!net.peer(candidate).alive) {
+      // First probe of a dead neighbor costs a message; remember it so
+      // revisits after backtracking don't double-charge.
+      if (probed_dead_.insert(candidate).second) {
+        ++result_.wasted;
+        ++step.dead_probes;
+      }
+      continue;
+    }
+    next = candidate;
+    found = true;
+    break;
+  }
+  if (found) {
+    visited_.insert(next);
+    stack_.push_back(next);
+    ++result_.hops;
+    result_.path.push_back(next);
+    result_.terminal = next;
+    step.kind = StepKind::kForward;
+    step.to = next;
+    return step;
+  }
+  stack_.pop_back();  // Dead end: return the query to the previous hop.
+  ++result_.wasted;
+  if (stack_.empty()) {
+    result_.terminal = source_;
+    result_.success = false;
+    done_ = true;
+    step.kind = StepKind::kStuck;
+    return step;
+  }
+  result_.terminal = stack_.back();
+  step.kind = StepKind::kBacktrack;
+  step.to = stack_.back();
+  return step;
+}
+
+void BacktrackingStepper::Abandon(const Network& net) {
+  const auto owner = net.OwnerOf(target_);
+  const PeerId terminal = stack_.empty() ? source_ : stack_.back();
+  result_.terminal = terminal;
+  result_.success = !stack_.empty() && owner.has_value() &&
+                    stack_.back() == *owner;
+  done_ = true;
+}
+
+bool BacktrackingStepper::FailDelivery(const Network& net) {
+  (void)net;
+  if (done_ || stack_.size() < 2) return false;
+  const PeerId failed = stack_.back();
+  stack_.pop_back();
+  ++result_.wasted;  // The undelivered transmission is a timed-out message.
+  if (!result_.path.empty() && result_.path.back() == failed) {
+    // The failed transmission was the forward that pushed `failed`: the
+    // hop never completed, so refund it (the wasted charge above keeps
+    // the total cost honest). When `failed` is an older peer reached by
+    // backtracking, its historical hop stands and only the unwind
+    // message is charged.
+    result_.path.pop_back();
+    --result_.hops;
+  }
+  // The peer stays visited (it already swallowed a message once) and is
+  // marked probed so a later scan of the same stale link is free.
+  probed_dead_.insert(failed);
+  result_.terminal = stack_.back();
+  return true;
+}
+
+Result<RouteStepperPtr> MakeRouteStepper(const std::string& name) {
+  if (name == "greedy") {
+    return RouteStepperPtr(std::make_unique<GreedyStepper>());
+  }
+  if (name == "backtracking") {
+    return RouteStepperPtr(std::make_unique<BacktrackingStepper>());
+  }
+  return Status::Error(StrCat("unknown route stepper: '", name,
+                              "' (expected greedy|backtracking)"));
+}
+
+}  // namespace oscar

@@ -1,0 +1,135 @@
+// Step-wise routing: the greedy and fault-aware-DFS algorithms exposed
+// one hop at a time. A stepper owns the in-flight route state (current
+// peer, visited set, accumulated cost) so a message-level simulator can
+// interleave many concurrent lookups, price every hop individually, and
+// inject failures *between* hops (a next-hop peer crashing while the
+// message is in flight).
+//
+// GreedyRouter::Route and BacktrackingRouter::Route are implemented by
+// driving these steppers to completion with the routers' historical
+// message budgets, so whole-path results are unchanged by construction;
+// the stepper-vs-route equivalence test guards the property.
+
+#ifndef OSCAR_ROUTING_ROUTE_STEPPER_H_
+#define OSCAR_ROUTING_ROUTE_STEPPER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "routing/router.h"
+
+namespace oscar {
+
+enum class StepKind {
+  kArrived,    // Current peer owns the target: lookup succeeded.
+  kForward,    // Moved one hop to `to` (one forwarded message).
+  kBacktrack,  // Returned the query to `to`, the previous hop (wasted).
+  kStuck,      // No useful neighbor and nowhere to return: failed.
+};
+
+/// What happened during one Step call.
+struct RouteStep {
+  StepKind kind = StepKind::kStuck;
+  PeerId from = 0;
+  PeerId to = 0;             // Destination of kForward / kBacktrack.
+  uint32_t dead_probes = 0;  // Dead neighbors first-probed in this step.
+};
+
+class RouteStepper {
+ public:
+  virtual ~RouteStepper() = default;
+
+  /// Resets to a fresh route from `source` toward `target`. The stepper
+  /// may be done() immediately (dead source, empty ring): a failure.
+  virtual void Start(const Network& net, PeerId source, KeyId target) = 0;
+
+  /// Advances the route by one decision. Precondition: !done(). The
+  /// target's owner is re-resolved against `net` on every call, so
+  /// liveness changes between steps are observed (identical to the
+  /// whole-path routers while `net` is unchanged during a route).
+  virtual RouteStep Step(const Network& net) = 0;
+
+  virtual bool done() const = 0;
+
+  /// Finishes the route in its current state — the caller's message
+  /// budget ran out. Mirrors the whole-path routers' loop-exhaustion
+  /// path: success iff the route happens to sit on the owner.
+  virtual void Abandon(const Network& net) = 0;
+
+  /// Reverts the route one level after a failed delivery: the message
+  /// to the current position never arrived (its holder crashed). The
+  /// failed hop is refunded (when it was a forward) and recharged as
+  /// one wasted message; routing resumes one level up. Only meaningful
+  /// when the failed peer is now dead — a live peer would be re-chosen
+  /// by a greedy re-step. Returns false (and does nothing) when the
+  /// route is already at its origin with nothing to revert.
+  virtual bool FailDelivery(const Network& net) = 0;
+
+  /// Accumulated route result; final once done().
+  virtual const RouteResult& result() const = 0;
+
+  /// Peer currently holding the query.
+  virtual PeerId current() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using RouteStepperPtr = std::unique_ptr<RouteStepper>;
+
+/// The GreedyRouter algorithm, one hop per Step (capacity-aware band
+/// relaxation and lazy dead-probe charging included).
+class GreedyStepper : public RouteStepper {
+ public:
+  void Start(const Network& net, PeerId source, KeyId target) override;
+  RouteStep Step(const Network& net) override;
+  bool done() const override { return done_; }
+  void Abandon(const Network& net) override;
+  bool FailDelivery(const Network& net) override;
+  const RouteResult& result() const override { return result_; }
+  PeerId current() const override { return current_; }
+  std::string name() const override { return "greedy"; }
+
+ private:
+  RouteResult result_;
+  KeyId target_;
+  PeerId current_ = 0;
+  bool done_ = true;
+  std::vector<PeerId> neighbors_;  // Scratch, reused across steps.
+};
+
+/// The BacktrackingRouter algorithm (fault-aware depth-first greedy),
+/// one forward or backtrack move per Step.
+class BacktrackingStepper : public RouteStepper {
+ public:
+  void Start(const Network& net, PeerId source, KeyId target) override;
+  RouteStep Step(const Network& net) override;
+  bool done() const override { return done_; }
+  void Abandon(const Network& net) override;
+  bool FailDelivery(const Network& net) override;
+  const RouteResult& result() const override { return result_; }
+  PeerId current() const override {
+    return stack_.empty() ? source_ : stack_.back();
+  }
+  std::string name() const override { return "backtracking"; }
+
+ private:
+  RouteResult result_;
+  KeyId target_;
+  PeerId source_ = 0;
+  bool done_ = true;
+  std::unordered_set<PeerId> visited_;
+  std::unordered_set<PeerId> probed_dead_;
+  std::vector<PeerId> stack_;
+  std::vector<PeerId> neighbors_;  // Scratch.
+  std::vector<std::pair<uint64_t, PeerId>> ordered_;  // Scratch.
+};
+
+/// Factory over the named steppers: "greedy" | "backtracking".
+Result<RouteStepperPtr> MakeRouteStepper(const std::string& name);
+
+}  // namespace oscar
+
+#endif  // OSCAR_ROUTING_ROUTE_STEPPER_H_

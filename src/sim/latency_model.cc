@@ -6,17 +6,20 @@
 
 namespace oscar {
 
+double LatencyModel::DelayForKey(KeyId key, const LatencyOptions& options) {
+  // One private splitmix64 stream per peer, keyed by its ring key.
+  Rng peer_rng(key.raw ^ 0x5851f42d4c957f2dULL);
+  return options.median_ms * std::exp(options.sigma * peer_rng.NextGaussian());
+}
+
 LatencyModel::LatencyModel(const Network& net, const LatencyOptions& options,
                            Rng* rng)
     : options_(options) {
   (void)rng;  // See header: delays must not depend on stream position.
   delays_ms_.reserve(net.size());
   for (size_t i = 0; i < net.size(); ++i) {
-    // One private splitmix64 stream per peer, keyed by its ring key.
-    Rng peer_rng(net.peer(static_cast<PeerId>(i)).key.raw ^
-                 0x5851f42d4c957f2dULL);
-    delays_ms_.push_back(options_.median_ms *
-                         std::exp(options_.sigma * peer_rng.NextGaussian()));
+    delays_ms_.push_back(
+        DelayForKey(net.peer(static_cast<PeerId>(i)).key, options_));
   }
 }
 

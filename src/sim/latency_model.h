@@ -33,6 +33,12 @@ class LatencyModel {
   double HopDelayMs(PeerId id) const { return delays_ms_[id]; }
   double timeout_ms() const { return options_.timeout_ms; }
 
+  /// The delay assigned to a peer whose ring key is `key` — a pure
+  /// function of the key. Shared with the message-level simulator so
+  /// peers joining mid-run get the same stable, stream-independent
+  /// delays the constructor precomputes.
+  static double DelayForKey(KeyId key, const LatencyOptions& options);
+
  private:
   LatencyOptions options_;
   std::vector<double> delays_ms_;

@@ -1,0 +1,273 @@
+#include "sim/message_sim.h"
+
+#include <utility>
+
+namespace oscar {
+
+MessageSim::MessageSim(EventEngine* engine, Network* net,
+                       const MessageSimOptions& options, Rng* rng)
+    : engine_(engine), net_(net), options_(options), rng_(rng) {
+  // An unknown router name is a caller bug (the scenario layer
+  // validates names before construction); fall back to the fault-aware
+  // default rather than failing mid-event.
+  if (!MakeRouteStepper(options_.router).ok()) {
+    options_.router = "backtracking";
+  }
+}
+
+uint64_t MessageSim::SubmitLookupAt(SimTime at, PeerId source, KeyId target) {
+  const uint64_t id = lookups_.size();
+  lookups_.emplace_back();
+  LookupOutcome outcome;
+  outcome.id = id;
+  outcome.source = source;
+  outcome.target = target;
+  outcomes_.push_back(outcome);
+  engine_->ScheduleAt(at, [this, id] { Admit(id); });
+  return id;
+}
+
+void MessageSim::Admit(uint64_t id) {
+  outcomes_[id].submitted_ms = engine_->now();
+  if (active_ >= options_.max_in_flight) {
+    backlog_.push_back(id);
+    Trace("lookup=", id, " backlogged");
+    return;
+  }
+  Activate(id);
+}
+
+void MessageSim::Activate(uint64_t id) {
+  ++active_;
+  concurrency_.Add(engine_->now(), +1);
+  Lookup& lookup = lookups_[id];
+  lookup.stepper = std::move(MakeRouteStepper(options_.router)).value();
+  lookup.stepper->Start(*net_, outcomes_[id].source, outcomes_[id].target);
+  Trace("lookup=", id, " start src=", outcomes_[id].source);
+  if (lookup.stepper->done()) {  // Dead source or empty ring.
+    Finish(id);
+    return;
+  }
+  // The source services its own query first: its decision time and
+  // queue depth are part of the lookup's latency.
+  EnqueueAt(id, outcomes_[id].source);
+}
+
+MessageSim::PeerState& MessageSim::peer_state(PeerId peer) {
+  if (peers_.size() <= peer) {
+    peers_.resize(peer + 1);
+    peer_load_.resize(peer + 1, 0);
+  }
+  return peers_[peer];
+}
+
+void MessageSim::EnqueueAt(uint64_t id, PeerId peer) {
+  PeerState& state = peer_state(peer);
+  state.queue.push_back(id);
+  if (!state.busy) BeginService(peer);
+}
+
+void MessageSim::BeginService(PeerId peer) {
+  peer_state(peer).busy = true;
+  engine_->ScheduleAfter(options_.service_ms,
+                         [this, peer] { EndService(peer); });
+}
+
+void MessageSim::EndService(PeerId peer) {
+  PeerState& state = peer_state(peer);
+  const uint64_t id = state.queue.front();
+  state.queue.pop_front();
+  state.busy = false;
+  if (!state.queue.empty()) BeginService(peer);
+  if (!net_->peer(peer).alive) {
+    // The peer crashed with this message aboard. Nobody answers; the
+    // upstream peer notices through its ack timeout.
+    Trace("lookup=", id, " stranded at dead peer=", peer);
+    engine_->ScheduleAfter(options_.timeout_ms,
+                           [this, id] { HandleTimeout(id); });
+    return;
+  }
+  ++peer_load_[peer];
+  ProcessAt(id, peer);
+}
+
+void MessageSim::ProcessAt(uint64_t id, PeerId peer) {
+  RouteStepper& stepper = *lookups_[id].stepper;
+  if (stepper.done()) {
+    Finish(id);
+    return;
+  }
+  // The same generous safety net the whole-path routers use, re-read
+  // each time because churn changes the alive count mid-run.
+  const size_t budget = 8 * net_->alive_count() + 64;
+  if (stepper.result().hops + stepper.result().wasted >= budget) {
+    stepper.Abandon(*net_);
+    Finish(id);
+    return;
+  }
+  const RouteStep step = stepper.Step(*net_);
+  switch (step.kind) {
+    case StepKind::kArrived:
+    case StepKind::kStuck:
+      Finish(id);
+      return;
+    case StepKind::kForward:
+    case StepKind::kBacktrack: {
+      // Probing each dead long link costs the prober a full timeout
+      // before the real transmission leaves.
+      const double probe_ms =
+          options_.zero_latency
+              ? 0.0
+              : static_cast<double>(step.dead_probes) *
+                    options_.latency.timeout_ms;
+      Trace("lookup=", id,
+            step.kind == StepKind::kForward ? " fwd " : " back ", peer, "->",
+            step.to, " probes=", step.dead_probes);
+      Transmit(id, peer, step.to, probe_ms);
+      return;
+    }
+  }
+}
+
+void MessageSim::Transmit(uint64_t id, PeerId from, PeerId to,
+                          double extra_delay_ms) {
+  Lookup& lookup = lookups_[id];
+  lookup.pending_from = from;
+  lookup.pending_dest = to;
+  lookup.hop_attempts = 0;
+  SendPending(id, extra_delay_ms);
+}
+
+void MessageSim::SendPending(uint64_t id, double extra_delay_ms) {
+  Lookup& lookup = lookups_[id];
+  const PeerId to = lookup.pending_dest;
+  ++messages_sent_;
+  const bool lost = options_.loss_rate > 0.0 &&
+                    rng_->NextDouble() < options_.loss_rate;
+  if (lost) {
+    ++lost_messages_;
+    Trace("lookup=", id, " lost ->", to);
+    engine_->ScheduleAfter(extra_delay_ms + options_.timeout_ms,
+                           [this, id] { HandleTimeout(id); });
+    return;
+  }
+  const SimTime sent_at = engine_->now() + extra_delay_ms;
+  engine_->ScheduleAt(sent_at + HopDelayMs(to), [this, id, to, sent_at] {
+    if (outcomes_[id].finished) return;
+    if (!net_->peer(to).alive) {
+      // Crashed while the message was in flight: delivery fails and the
+      // sender only learns by silence, one ack timeout after sending.
+      engine_->ScheduleAt(sent_at + options_.timeout_ms,
+                          [this, id] { HandleTimeout(id); });
+      return;
+    }
+    EnqueueAt(id, to);
+  });
+}
+
+void MessageSim::HandleTimeout(uint64_t id) {
+  if (outcomes_[id].finished) return;
+  ++timeouts_;
+  Lookup& lookup = lookups_[id];
+  RouteStepper& stepper = *lookup.stepper;
+  if (!net_->peer(lookup.pending_dest).alive) {
+    // Crash discovered by silence: revert the unanswered hop and route
+    // around it. (Also reached with a stale pending_dest when the peer
+    // holding the query died — the revert unwinds past that peer, which
+    // is the current stack top, so the action is right either way.)
+    if (!stepper.FailDelivery(*net_)) {
+      // The route is back at its origin with nothing to revert.
+      stepper.Abandon(*net_);
+      Finish(id);
+      return;
+    }
+    Trace("lookup=", id, " timeout dead=", lookup.pending_dest, " resume=",
+          stepper.current());
+    const PeerId resume = stepper.current();
+    if (resume == lookup.pending_from) {
+      // A failed forward: the query never left its sender, which now
+      // re-decides knowing the stale link is dead.
+      EnqueueAt(id, resume);
+    } else {
+      // A failed backtrack: unwind one level deeper with a fresh
+      // transmission.
+      Transmit(id, lookup.pending_from, resume, 0.0);
+    }
+    return;
+  }
+  // The destination is alive: the transmission was lost. Resend until
+  // the per-hop retry budget runs out.
+  if (lookup.hop_attempts >= options_.max_retries) {
+    Trace("lookup=", id, " retries exhausted ->", lookup.pending_dest);
+    stepper.Abandon(*net_);
+    Finish(id);
+    return;
+  }
+  ++lookup.hop_attempts;
+  ++retries_;
+  ++outcomes_[id].retries;
+  Trace("lookup=", id, " retry#", lookup.hop_attempts, " ->",
+        lookup.pending_dest);
+  SendPending(id, 0.0);
+}
+
+void MessageSim::Finish(uint64_t id) {
+  LookupOutcome& outcome = outcomes_[id];
+  if (outcome.finished) return;
+  const RouteResult& route = lookups_[id].stepper->result();
+  outcome.finished = true;
+  outcome.success = route.success;
+  outcome.hops = route.hops;
+  outcome.wasted = route.wasted;
+  outcome.completed_ms = engine_->now();
+  outcome.latency_ms = outcome.completed_ms - outcome.submitted_ms;
+  concurrency_.Add(engine_->now(), -1);
+  --active_;
+  Trace("lookup=", id, outcome.success ? " done" : " failed", " hops=",
+        outcome.hops, " wasted=", outcome.wasted);
+  if (!backlog_.empty()) {
+    const uint64_t next = backlog_.front();
+    backlog_.pop_front();
+    Activate(next);
+  }
+}
+
+double MessageSim::HopDelayMs(PeerId to) const {
+  if (options_.zero_latency) return 0.0;
+  return LatencyModel::DelayForKey(net_->peer(to).key, options_.latency);
+}
+
+MessageSimReport MessageSim::Report() const {
+  MessageSimReport report;
+  report.submitted = outcomes_.size();
+  std::vector<double> latencies;
+  double hops = 0.0;
+  double wasted = 0.0;
+  for (const LookupOutcome& outcome : outcomes_) {
+    if (!outcome.finished) continue;
+    ++report.completed;
+    if (outcome.success) ++report.succeeded;
+    latencies.push_back(outcome.latency_ms);
+    hops += outcome.hops;
+    wasted += outcome.wasted;
+  }
+  if (report.completed > 0) {
+    const double n = static_cast<double>(report.completed);
+    report.success_rate = static_cast<double>(report.succeeded) / n;
+    report.mean_hops = hops / n;
+    report.mean_wasted = wasted / n;
+  }
+  report.latency = SummarizeLatency(std::move(latencies));
+  report.messages_sent = messages_sent_;
+  report.lost_messages = lost_messages_;
+  report.timeouts = timeouts_;
+  report.retries = retries_;
+  report.peak_in_flight = concurrency_.peak();
+  report.mean_in_flight = concurrency_.TimeWeightedMean(engine_->now());
+  std::vector<uint64_t> load = peer_load_;
+  load.resize(net_->size(), 0);
+  report.peer_load = SummarizePeerLoad(load);
+  return report;
+}
+
+}  // namespace oscar

@@ -1,0 +1,167 @@
+// Message-level lookup simulation on the discrete-event engine. Every
+// lookup is an individual query message advanced one hop at a time by a
+// RouteStepper; hops are priced by the latency model, forwarding passes
+// through a per-peer FIFO (one message in service at a time, so load
+// queues), and undelivered messages — lost, or sent to a peer that
+// crashed while they were in flight — are discovered by ack timeout and
+// retried or routed around, never by oracle.
+//
+// Modeling notes (all deterministic under a fixed seed):
+//  - Ack timeouts are only scheduled for transmissions that actually
+//    fail; a delivered message acks instantly and for free. This is
+//    equivalent to always scheduling the timeout and cancelling it on
+//    ack, with far fewer events.
+//  - A peer that crashes with messages queued drains them one service
+//    slot at a time; each drained message takes the same timeout path
+//    its sender would have observed.
+
+#ifndef OSCAR_SIM_MESSAGE_SIM_H_
+#define OSCAR_SIM_MESSAGE_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "core/network.h"
+#include "core/rng.h"
+#include "metrics/message_metrics.h"
+#include "routing/route_stepper.h"
+#include "sim/event_engine.h"
+#include "sim/latency_model.h"
+
+namespace oscar {
+
+struct MessageSimOptions {
+  /// Routing algorithm driven hop-by-hop: "greedy" | "backtracking".
+  std::string router = "backtracking";
+  /// Per-hop delay model (median/sigma) — `latency.timeout_ms` prices
+  /// dead probes, `timeout_ms` below is the ack timeout.
+  LatencyOptions latency;
+  /// Zero every transmission delay (the synchronous cross-check mode).
+  bool zero_latency = false;
+  /// Time a peer spends forwarding one message; queueing delay emerges
+  /// when messages arrive faster than 1/service_ms.
+  double service_ms = 0.1;
+  /// Ack timeout: how long a sender waits before declaring a
+  /// transmission failed (lost or sent to a crashed peer).
+  double timeout_ms = 500.0;
+  /// Resends of one transmission before the whole lookup fails.
+  uint32_t max_retries = 2;
+  /// Probability an individual transmission is lost in the network.
+  double loss_rate = 0.0;
+  /// Admission cap on concurrently active lookups; excess submissions
+  /// wait in an admission backlog (their wait counts toward latency).
+  size_t max_in_flight = 64;
+  /// Optional deterministic event-trace sink (lines are appended).
+  std::string* trace = nullptr;
+};
+
+/// Per-lookup record, final once `finished`.
+struct LookupOutcome {
+  uint64_t id = 0;
+  PeerId source = 0;
+  KeyId target;
+  bool finished = false;
+  bool success = false;
+  uint32_t hops = 0;
+  uint32_t wasted = 0;       // Route-level waste (probes, backtracks).
+  uint32_t retries = 0;      // Transmissions re-sent after loss.
+  SimTime submitted_ms = 0.0;
+  SimTime completed_ms = 0.0;
+  double latency_ms = 0.0;   // completed - submitted (includes backlog).
+};
+
+struct MessageSimReport {
+  size_t submitted = 0;
+  size_t completed = 0;
+  size_t succeeded = 0;
+  double success_rate = 0.0;
+  LatencySummary latency;
+  double mean_hops = 0.0;
+  double mean_wasted = 0.0;
+  uint64_t messages_sent = 0;   // Every transmission, retries included.
+  uint64_t lost_messages = 0;
+  uint64_t timeouts = 0;        // Ack timeouts fired.
+  uint64_t retries = 0;
+  size_t peak_in_flight = 0;
+  double mean_in_flight = 0.0;
+  PeerLoadSummary peer_load;    // Messages serviced per peer.
+};
+
+class MessageSim {
+ public:
+  /// `engine`, `net` and `rng` must outlive the sim; the network may be
+  /// mutated between events (event-scheduled churn) — liveness is
+  /// re-checked at every service and delivery.
+  MessageSim(EventEngine* engine, Network* net,
+             const MessageSimOptions& options, Rng* rng);
+
+  /// Schedules a lookup for `target` starting at `source` at virtual
+  /// time `at` (clamped to now). Returns the lookup id.
+  uint64_t SubmitLookupAt(SimTime at, PeerId source, KeyId target);
+
+  const std::vector<LookupOutcome>& outcomes() const { return outcomes_; }
+  size_t active_lookups() const { return active_; }
+
+  /// Aggregates everything observed so far (valid mid-run too).
+  MessageSimReport Report() const;
+
+ private:
+  struct Lookup {
+    RouteStepperPtr stepper;
+    uint32_t hop_attempts = 0;  // Resends of the current transmission.
+    PeerId pending_from = 0;    // Sender of the in-flight transmission.
+    PeerId pending_dest = 0;    // Its destination.
+  };
+
+  struct PeerState {
+    std::deque<uint64_t> queue;
+    bool busy = false;
+  };
+
+  void Admit(uint64_t id);
+  void Activate(uint64_t id);
+  void EnqueueAt(uint64_t id, PeerId peer);
+  void BeginService(PeerId peer);
+  void EndService(PeerId peer);
+  void ProcessAt(uint64_t id, PeerId peer);
+  void Transmit(uint64_t id, PeerId from, PeerId to, double extra_delay_ms);
+  void HandleTimeout(uint64_t id);
+  void Finish(uint64_t id);
+  /// Appends one `t=<now> ...` line to the trace sink, if any. The
+  /// arguments are only rendered when tracing is on.
+  template <typename... Args>
+  void Trace(const Args&... args) {
+    if (options_.trace == nullptr) return;
+    options_.trace->append(StrCat("t=", FormatDouble(engine_->now(), 3), " ",
+                                  args..., "\n"));
+  }
+  void SendPending(uint64_t id, double extra_delay_ms);
+  double HopDelayMs(PeerId to) const;
+  PeerState& peer_state(PeerId peer);
+
+  EventEngine* engine_;
+  Network* net_;
+  MessageSimOptions options_;
+  Rng* rng_;
+
+  std::vector<Lookup> lookups_;
+  std::vector<LookupOutcome> outcomes_;  // Parallel to lookups_.
+  std::deque<uint64_t> backlog_;         // Admission queue.
+  std::vector<PeerState> peers_;
+  std::vector<uint64_t> peer_load_;      // Messages serviced per peer.
+  ConcurrencyTracker concurrency_;
+  size_t active_ = 0;
+  uint64_t messages_sent_ = 0;
+  uint64_t lost_messages_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_SIM_MESSAGE_SIM_H_

@@ -1,0 +1,295 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/experiments.h"
+#include "core/simulation.h"
+#include "routing/backtracking_router.h"
+
+namespace oscar {
+namespace {
+
+/// Zipf popularity over a fixed set of hot keys: key rank r (1-based)
+/// is drawn with probability ∝ 1/r^s. Inverse-CDF sampling keeps one
+/// rng draw per query.
+class ZipfHotKeys : public KeyDistribution {
+ public:
+  ZipfHotKeys(std::vector<KeyId> keys, double exponent)
+      : keys_(std::move(keys)) {
+    double total = 0.0;
+    cumulative_.reserve(keys_.size());
+    for (size_t rank = 1; rank <= keys_.size(); ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank), exponent);
+      cumulative_.push_back(total);
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+
+  KeyId Sample(Rng* rng) const override {
+    const double u = rng->NextDouble();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const size_t index = std::min(
+        static_cast<size_t>(it - cumulative_.begin()), keys_.size() - 1);
+    return keys_[index];
+  }
+
+  std::string name() const override { return "zipf-hot"; }
+
+ private:
+  std::vector<KeyId> keys_;
+  std::vector<double> cumulative_;
+};
+
+/// Grows the scenario's network deterministically from options.seed.
+/// The returned Simulation owns the network plus the overlay and
+/// distributions churn handlers keep borrowing.
+Result<std::unique_ptr<Simulation>> GrowNetwork(
+    const ScenarioOptions& options) {
+  auto keys = MakeKeyDistribution(options.keys);
+  if (!keys.ok()) return keys.status();
+  auto degrees = MakePaperDegreeDistribution(options.degrees);
+  if (!degrees.ok()) return degrees.status();
+  auto factory = MakeNamedOverlay(options.overlay);
+  if (!factory.ok()) return factory.status();
+
+  GrowthConfig config;
+  config.target_size = options.network_size;
+  config.queries_per_checkpoint = 0;  // Structure only; no sync queries.
+  config.seed = options.seed;
+  config.checkpoints = {options.network_size};
+  config.key_distribution = keys.value();
+  config.degree_distribution = degrees.value();
+  config.overlay = factory.value()();
+  auto growth = std::make_unique<Simulation>(std::move(config));
+  auto grown = growth->Run();
+  if (!grown.ok()) return grown.status();
+  return growth;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ScenarioCatalog() {
+  static const std::vector<std::string> kCatalog = {
+      "baseline",       "flash-crowd", "rolling-churn",
+      "regional-crash", "message-loss",
+  };
+  return kCatalog;
+}
+
+Result<ScenarioOptions> MakeScenarioOptions(const std::string& name,
+                                            ScenarioOptions base) {
+  // The span of the steady arrival process; failure schedules anchor to
+  // it so scenarios stay meaningful at any scale.
+  const double span_ms =
+      static_cast<double>(base.lookups) * base.arrival_interval_ms;
+  if (name == "baseline") return base;
+  if (name == "flash-crowd") {
+    // A query storm on a handful of Zipf-popular keys, all submitted at
+    // once: hot owners saturate their service queues.
+    base.burst = true;
+    base.hot_keys = 16;
+    base.zipf_exponent = 1.2;
+    base.sim.max_in_flight = 256;
+    return base;
+  }
+  if (name == "rolling-churn") {
+    // Continuous leave/join while lookups are in flight: stale links,
+    // timeout-driven backtracking, message/crash races.
+    base.churn.events = 8;
+    base.churn.start_ms = span_ms / 10.0;
+    base.churn.interval_ms = span_ms / 10.0;
+    base.churn.leaves_per_event =
+        std::max<size_t>(1, base.network_size / 50);
+    base.churn.joins_per_event = base.churn.leaves_per_event;
+    return base;
+  }
+  if (name == "regional-crash") {
+    // 15% of the ring — one correlated region — vanishes mid-run.
+    base.regional_crash_at_ms = span_ms * 0.4;
+    base.regional_center = 0.1;
+    base.regional_span = 0.15;
+    return base;
+  }
+  if (name == "message-loss") {
+    base.sim.loss_rate = 0.05;
+    base.sim.max_retries = 3;
+    return base;
+  }
+  return Status::Error(StrCat("unknown scenario: '", name,
+                              "' (see ScenarioCatalog)"));
+}
+
+Result<ScenarioResult> RunScenario(const std::string& name,
+                                   const ScenarioOptions& base) {
+  auto resolved = MakeScenarioOptions(name, base);
+  if (!resolved.ok()) return resolved.status();
+  const ScenarioOptions& options = resolved.value();
+  if (auto probe = MakeRouteStepper(options.sim.router); !probe.ok()) {
+    return probe.status();
+  }
+  auto grown = GrowNetwork(options);
+  if (!grown.ok()) return grown.status();
+  const Simulation& growth = *grown.value();
+
+  Network net = growth.network();  // Mutable copy: churn happens here.
+  const OverlayPtr overlay = growth.config().overlay;
+  const KeyDistributionPtr peer_keys = growth.config().key_distribution;
+  const DegreeDistributionPtr peer_degrees =
+      growth.config().degree_distribution;
+
+  // A scenario-private stream, decoupled from the growth stream so the
+  // same network can host different workloads comparably.
+  Rng rng(options.seed ^ 0x0a02bdbf7bb3c0a7ULL);
+  EventEngine engine;
+  MessageSim sim(&engine, &net, options.sim, &rng);
+
+  // Workload: (source, key) pairs drawn up-front in submit order.
+  KeyDistributionPtr query_keys = peer_keys;
+  if (options.hot_keys > 0) {
+    std::vector<KeyId> hot;
+    hot.reserve(options.hot_keys);
+    for (size_t i = 0; i < options.hot_keys; ++i) {
+      hot.push_back(peer_keys->Sample(&rng));
+    }
+    query_keys = std::make_shared<ZipfHotKeys>(std::move(hot),
+                                               options.zipf_exponent);
+  }
+  SearchOptions query_options;
+  query_options.query_distribution = query_keys.get();
+  const std::vector<PeerId> alive = net.AlivePeers();
+  if (alive.empty()) return Status::Error("scenario: empty network");
+  SimTime at = 0.0;
+  for (size_t q = 0; q < options.lookups; ++q) {
+    const QuerySample query = SampleQuery(net, query_options, alive, &rng);
+    sim.SubmitLookupAt(at, query.source, query.key);
+    if (!options.burst) {
+      at += -options.arrival_interval_ms * std::log(1.0 - rng.NextDouble());
+    }
+  }
+
+  ChurnScheduleReport churn_report;
+  const RebuildFn rebuild = [overlay](Network* n, PeerId id, Rng* r) {
+    return overlay->BuildLinks(n, id, r);
+  };
+  if (options.churn.events > 0) {
+    ScheduleChurn(&engine, &net, options.churn, *peer_keys, *peer_degrees,
+                  rebuild, &rng, &churn_report);
+  }
+  size_t regional_crashed = 0;
+  Status regional_status;
+  if (options.regional_crash_at_ms >= 0.0) {
+    engine.ScheduleAt(options.regional_crash_at_ms, [&net, &options,
+                                                     &regional_crashed,
+                                                     &regional_status] {
+      auto crashed =
+          CrashSegment(&net, KeyId::FromUnit(options.regional_center),
+                       options.regional_span);
+      if (crashed.ok()) {
+        regional_crashed = crashed.value();
+      } else {
+        regional_status = crashed.status();
+      }
+    });
+  }
+
+  // Backstop against a runaway handler loop; generously above any
+  // legitimate event count (a lookup is a few events per hop).
+  const size_t max_events = 200000 + 4000 * options.lookups;
+  engine.Run(max_events);
+  if (!churn_report.status.ok()) return churn_report.status;
+  if (!regional_status.ok()) return regional_status;
+
+  ScenarioResult result;
+  result.name = name;
+  result.options = options;
+  result.report = sim.Report();
+  result.crashed = churn_report.left + regional_crashed;
+  result.joined = churn_report.joined;
+  result.events_dispatched = engine.dispatched();
+  result.end_ms = engine.now();
+  return result;
+}
+
+Result<size_t> CrossCheckMessageVsSync(const ScenarioOptions& base) {
+  auto grown = GrowNetwork(base);
+  if (!grown.ok()) return grown.status();
+  const Simulation& growth = *grown.value();
+
+  // Crash a slice so dead probes and backtracking are part of the
+  // comparison, not just clean greedy descent.
+  Network net = growth.network();
+  Rng crash_rng(base.seed ^ 0x517cc1b727220a95ULL);
+  auto crashed = CrashFraction(&net, 0.15, &crash_rng);
+  if (!crashed.ok()) return crashed.status();
+
+  // Synchronous side: per-query routes recorded via the observer.
+  SearchOptions search;
+  search.num_queries = base.lookups;
+  search.query_distribution = growth.config().key_distribution.get();
+  struct PerQuery {
+    uint32_t hops;
+    uint32_t wasted;
+    bool success;
+  };
+  std::vector<PerQuery> sync_routes;
+  sync_routes.reserve(base.lookups);
+  search.per_route = [&sync_routes](const RouteResult& route) {
+    sync_routes.push_back({route.hops, route.wasted, route.success});
+  };
+  const uint64_t query_seed = base.seed ^ 0x2545f4914f6cdd1dULL;
+  Rng sync_rng(query_seed);
+  EvaluateSearch(net, BacktrackingRouter(), search, &sync_rng);
+
+  // Message side: the identical query stream (same seed, same draw
+  // order; routing consumes no rng) through the event engine at zero
+  // latency, one lookup in flight at a time.
+  Network message_net = net;
+  EventEngine engine;
+  MessageSimOptions sim_options = base.sim;
+  sim_options.router = "backtracking";
+  sim_options.zero_latency = true;
+  sim_options.service_ms = 0.0;
+  sim_options.loss_rate = 0.0;
+  sim_options.max_in_flight = 1;
+  Rng sim_rng(base.seed ^ 0x9e6c63d0876a9a47ULL);
+  MessageSim sim(&engine, &message_net, sim_options, &sim_rng);
+  Rng replay_rng(query_seed);
+  const std::vector<PeerId> alive = message_net.AlivePeers();
+  if (alive.empty()) return Status::Error("cross-check: empty network");
+  for (size_t q = 0; q < base.lookups; ++q) {
+    const QuerySample query = SampleQuery(message_net, search, alive,
+                                          &replay_rng);
+    sim.SubmitLookupAt(0.0, query.source, query.key);
+  }
+  engine.Run(200000 + 4000 * base.lookups);
+
+  const std::vector<LookupOutcome>& outcomes = sim.outcomes();
+  if (outcomes.size() != sync_routes.size()) {
+    return Status::Error(StrCat("cross-check: query counts differ: sync=",
+                                sync_routes.size(),
+                                " message=", outcomes.size()));
+  }
+  for (size_t q = 0; q < outcomes.size(); ++q) {
+    const LookupOutcome& out = outcomes[q];
+    const PerQuery& ref = sync_routes[q];
+    if (!out.finished) {
+      return Status::Error(StrCat("cross-check: lookup ", q, " unfinished"));
+    }
+    if (out.hops != ref.hops || out.wasted != ref.wasted ||
+        out.success != ref.success) {
+      return Status::Error(StrCat(
+          "cross-check: query ", q, " diverged: sync(hops=", ref.hops,
+          " wasted=", ref.wasted, " success=", ref.success,
+          ") message(hops=", out.hops, " wasted=", out.wasted,
+          " success=", out.success, ")"));
+    }
+  }
+  return outcomes.size();
+}
+
+}  // namespace oscar

@@ -1,0 +1,81 @@
+// Named workload scenarios for the message-level simulator: grow a
+// network, submit a lookup stream, schedule failures, run the event
+// engine, report. The catalog covers the traffic patterns the paper's
+// synchronous figures cannot express — flash-crowd bursts on Zipf-hot
+// keys, rolling churn racing in-flight lookups, correlated regional
+// crashes, and lossy transport with retries.
+
+#ifndef OSCAR_SIM_SCENARIO_H_
+#define OSCAR_SIM_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "churn/churn.h"
+#include "common/status.h"
+#include "sim/message_sim.h"
+
+namespace oscar {
+
+struct ScenarioOptions {
+  size_t network_size = 600;
+  size_t lookups = 600;
+  uint64_t seed = 42;
+  std::string overlay = "oscar";
+  std::string keys = "gnutella";
+  std::string degrees = "realistic";
+  MessageSimOptions sim;
+
+  // Arrival process.
+  bool burst = false;  // Everything submitted at t=0 (flash crowd).
+  double arrival_interval_ms = 5.0;  // Mean exponential inter-arrival.
+
+  // Query-key skew: when hot_keys > 0, queries target a fixed set of
+  // `hot_keys` keys under a Zipf(zipf_exponent) popularity law instead
+  // of following the peer key distribution.
+  size_t hot_keys = 0;
+  double zipf_exponent = 1.1;
+
+  // Rolling churn (events == 0 disables it).
+  ChurnScheduleOptions churn;
+
+  // Correlated regional crash (at_ms < 0 disables it).
+  double regional_crash_at_ms = -1.0;
+  double regional_center = 0.25;  // Clockwise start of the doomed segment.
+  double regional_span = 0.0;     // Fraction of the unit ring.
+};
+
+struct ScenarioResult {
+  std::string name;
+  ScenarioOptions options;  // As resolved for the run.
+  MessageSimReport report;
+  size_t crashed = 0;  // Churn + regional crashes.
+  size_t joined = 0;
+  uint64_t events_dispatched = 0;
+  SimTime end_ms = 0.0;
+};
+
+/// The named scenarios, in catalog order.
+const std::vector<std::string>& ScenarioCatalog();
+
+/// Applies the named scenario's deltas on top of `base` (which carries
+/// the scale, seed and sim knobs the caller resolved from env/flags).
+Result<ScenarioOptions> MakeScenarioOptions(const std::string& name,
+                                            ScenarioOptions base);
+
+/// Grows the network deterministically from options.seed and runs the
+/// named scenario's workload on the event engine.
+Result<ScenarioResult> RunScenario(const std::string& name,
+                                   const ScenarioOptions& base);
+
+/// Equivalence gate between the two engines: grows a network from
+/// `base`, crashes a fraction of it, routes the same query stream once
+/// through the synchronous EvaluateSearch and once through MessageSim
+/// in zero-latency single-lookup mode, and requires per-query hops,
+/// wasted messages and success to match exactly. Returns the number of
+/// queries compared, or an error naming the first mismatch.
+Result<size_t> CrossCheckMessageVsSync(const ScenarioOptions& base);
+
+}  // namespace oscar
+
+#endif  // OSCAR_SIM_SCENARIO_H_

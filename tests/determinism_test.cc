@@ -1,5 +1,7 @@
 // Deterministic-replay guard: two simulations with the same seed must
-// produce byte-identical search-cost rows; a different seed must not.
+// produce byte-identical search-cost rows — and two message-level
+// scenario runs with the same seed must produce byte-identical event
+// traces. A different seed must not.
 
 #include <gtest/gtest.h>
 
@@ -7,6 +9,7 @@
 #include <string>
 
 #include "core/experiments.h"
+#include "sim/scenario.h"
 
 namespace oscar {
 namespace {
@@ -48,6 +51,39 @@ TEST(DeterminismTest, DifferentSeedDifferentRun) {
   ASSERT_TRUE(first.ok()) << first.status();
   ASSERT_TRUE(second.ok()) << second.status();
   EXPECT_NE(RowsAsBytes(first.value()), RowsAsBytes(second.value()));
+}
+
+/// Runs the rolling-churn scenario (the busiest one: crashes, joins,
+/// timeouts and reroutes all interleave) with the message trace on and
+/// returns the full event trace plus the summary numbers as one string.
+std::string ScenarioTraceBytes(uint64_t seed) {
+  ScenarioOptions base;
+  base.network_size = 140;
+  base.lookups = 70;
+  base.seed = seed;
+  std::string trace;
+  base.sim.trace = &trace;
+  auto run = RunScenario("rolling-churn", base);
+  EXPECT_TRUE(run.ok()) << run.status();
+  if (!run.ok()) return "";
+  const MessageSimReport& report = run.value().report;
+  std::ostringstream os;
+  os << trace << "completed=" << report.completed
+     << " succeeded=" << report.succeeded
+     << " messages=" << report.messages_sent
+     << " timeouts=" << report.timeouts << " mean_ms=" << report.latency.mean_ms
+     << " events=" << run.value().events_dispatched;
+  return os.str();
+}
+
+TEST(DeterminismTest, SameSeedSameEventTrace) {
+  const std::string first = ScenarioTraceBytes(42);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, ScenarioTraceBytes(42));
+}
+
+TEST(DeterminismTest, DifferentSeedDifferentEventTrace) {
+  EXPECT_NE(ScenarioTraceBytes(42), ScenarioTraceBytes(43));
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+#include "sim/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oscar {
+namespace {
+
+TEST(EventEngineTest, DispatchesInTimeOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(30.0, [&order] { order.push_back(3); });
+  engine.ScheduleAt(10.0, [&order] { order.push_back(1); });
+  engine.ScheduleAt(20.0, [&order] { order.push_back(2); });
+  EXPECT_EQ(engine.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 30.0);
+}
+
+TEST(EventEngineTest, TiesBreakInScheduleOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    engine.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventEngineTest, ClockIsMonotonicAndClampsThePast) {
+  EventEngine engine;
+  double seen = -1.0;
+  engine.ScheduleAt(50.0, [&engine, &seen] {
+    // Scheduling behind the clock fires immediately, never rewinds.
+    engine.ScheduleAt(10.0, [&engine, &seen] { seen = engine.now(); });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(seen, 50.0);
+}
+
+TEST(EventEngineTest, HandlersScheduleFollowUps) {
+  EventEngine engine;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) engine.ScheduleAfter(1.0, tick);
+  };
+  engine.ScheduleAfter(1.0, tick);
+  EXPECT_EQ(engine.Run(), 5u);
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(EventEngineTest, CancelPreventsDispatch) {
+  EventEngine engine;
+  int fired = 0;
+  const EventId id = engine.ScheduleAt(1.0, [&fired] { ++fired; });
+  engine.ScheduleAt(2.0, [&fired] { ++fired; });
+  EXPECT_TRUE(engine.Cancel(id));
+  EXPECT_FALSE(engine.Cancel(id));  // Already cancelled.
+  EXPECT_EQ(engine.Run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventEngineTest, RunHonorsMaxEvents) {
+  EventEngine engine;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.ScheduleAt(static_cast<double>(i), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(engine.Run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(engine.pending(), 6u);
+  EXPECT_EQ(engine.Run(), 6u);
+}
+
+TEST(EventEngineTest, RunUntilStopsAtTheFence) {
+  EventEngine engine;
+  std::vector<double> seen;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    engine.ScheduleAt(t, [&engine, &seen] { seen.push_back(engine.now()); });
+  }
+  EXPECT_EQ(engine.RunUntil(2.5), 2u);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.5);  // Clock advances to the fence.
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(engine.Run(), 2u);
+}
+
+TEST(EventEngineTest, RunUntilSkipsCancelledHead) {
+  EventEngine engine;
+  int fired = 0;
+  const EventId head = engine.ScheduleAt(1.0, [&fired] { ++fired; });
+  engine.ScheduleAt(2.0, [&fired] { ++fired; });
+  engine.Cancel(head);
+  EXPECT_EQ(engine.RunUntil(3.0), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventEngineTest, NegativeDelayClampsToNow) {
+  EventEngine engine;
+  engine.ScheduleAt(7.0, [] {});
+  engine.Run();
+  double fired_at = -1.0;
+  engine.ScheduleAfter(-5.0, [&engine, &fired_at] { fired_at = engine.now(); });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+}  // namespace
+}  // namespace oscar

@@ -1,0 +1,215 @@
+#include "sim/message_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "overlay/kleinberg/kleinberg_overlay.h"
+#include "sim/scenario.h"
+
+namespace oscar {
+namespace {
+
+Network LinkedNetwork(size_t n, uint64_t seed) {
+  Network net;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{8, 8});
+  }
+  KleinbergOverlay overlay;
+  for (PeerId id : net.AlivePeers()) {
+    EXPECT_TRUE(overlay.BuildLinks(&net, id, &rng).ok());
+  }
+  return net;
+}
+
+MessageSimOptions FastOptions() {
+  MessageSimOptions options;
+  options.zero_latency = true;
+  options.service_ms = 0.0;
+  options.timeout_ms = 10.0;
+  return options;
+}
+
+TEST(MessageSimTest, IntactNetworkCompletesEveryLookup) {
+  Network net = LinkedNetwork(150, 21);
+  EventEngine engine;
+  Rng rng(22);
+  MessageSim sim(&engine, &net, FastOptions(), &rng);
+  Rng query_rng(23);
+  const std::vector<PeerId> alive = net.AlivePeers();
+  for (int q = 0; q < 60; ++q) {
+    const PeerId source =
+        alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+    sim.SubmitLookupAt(0.0, source, KeyId::FromUnit(query_rng.NextDouble()));
+  }
+  engine.Run();
+  const MessageSimReport report = sim.Report();
+  EXPECT_EQ(report.completed, 60u);
+  EXPECT_DOUBLE_EQ(report.success_rate, 1.0);
+  EXPECT_EQ(report.timeouts, 0u);
+  EXPECT_GT(report.messages_sent, 0u);
+}
+
+TEST(MessageSimTest, TotalLossExhaustsRetriesAndFailsTheLookup) {
+  Network net = LinkedNetwork(100, 24);
+  EventEngine engine;
+  Rng rng(25);
+  MessageSimOptions options = FastOptions();
+  options.loss_rate = 1.0;
+  options.max_retries = 2;
+  MessageSim sim(&engine, &net, options, &rng);
+  const std::vector<PeerId> alive = net.AlivePeers();
+  const PeerId source = alive[0];
+  // A key owned by someone else, so at least one transmission is needed.
+  const KeyId target = net.peer(alive[alive.size() / 2]).key;
+  ASSERT_NE(*net.OwnerOf(target), source);
+  sim.SubmitLookupAt(0.0, source, target);
+  engine.Run();
+  ASSERT_EQ(sim.outcomes().size(), 1u);
+  const LookupOutcome& outcome = sim.outcomes()[0];
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.retries, 2u);  // Initial send + 2 resends, all lost.
+  const MessageSimReport report = sim.Report();
+  EXPECT_EQ(report.messages_sent, 3u);
+  EXPECT_EQ(report.lost_messages, 3u);
+  EXPECT_EQ(report.timeouts, 3u);
+  // Each lost transmission costs one ack timeout of virtual time.
+  EXPECT_DOUBLE_EQ(outcome.latency_ms, 3 * options.timeout_ms);
+}
+
+TEST(MessageSimTest, ModerateLossRecoversThroughRetries) {
+  Network net = LinkedNetwork(150, 26);
+  EventEngine engine;
+  Rng rng(27);
+  MessageSimOptions options = FastOptions();
+  options.loss_rate = 0.3;
+  options.max_retries = 8;
+  MessageSim sim(&engine, &net, options, &rng);
+  Rng query_rng(28);
+  const std::vector<PeerId> alive = net.AlivePeers();
+  for (int q = 0; q < 60; ++q) {
+    const PeerId source =
+        alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+    sim.SubmitLookupAt(0.0, source, KeyId::FromUnit(query_rng.NextDouble()));
+  }
+  engine.Run();
+  const MessageSimReport report = sim.Report();
+  EXPECT_EQ(report.completed, 60u);
+  EXPECT_DOUBLE_EQ(report.success_rate, 1.0);
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_EQ(report.timeouts, report.lost_messages);
+}
+
+TEST(MessageSimTest, AdmissionCapBoundsConcurrency) {
+  Network net = LinkedNetwork(150, 29);
+  EventEngine engine;
+  Rng rng(30);
+  MessageSimOptions options;  // Real latency: lookups overlap in time.
+  options.max_in_flight = 4;
+  MessageSim sim(&engine, &net, options, &rng);
+  Rng query_rng(31);
+  const std::vector<PeerId> alive = net.AlivePeers();
+  for (int q = 0; q < 50; ++q) {
+    const PeerId source =
+        alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+    sim.SubmitLookupAt(0.0, source, KeyId::FromUnit(query_rng.NextDouble()));
+  }
+  engine.Run();
+  const MessageSimReport report = sim.Report();
+  EXPECT_EQ(report.completed, 50u);
+  EXPECT_LE(report.peak_in_flight, 4u);
+  EXPECT_GT(report.peak_in_flight, 0u);
+}
+
+TEST(MessageSimTest, PerPeerServiceQueueSerializesASaturatedSource) {
+  Network net = LinkedNetwork(100, 32);
+  EventEngine engine;
+  Rng rng(33);
+  MessageSimOptions options = FastOptions();
+  options.service_ms = 10.0;  // Decision time dominates; delays are zero.
+  MessageSim sim(&engine, &net, options, &rng);
+  Rng query_rng(34);
+  const std::vector<PeerId> alive = net.AlivePeers();
+  const PeerId hot_source = alive[0];
+  for (int q = 0; q < 20; ++q) {
+    sim.SubmitLookupAt(0.0, hot_source,
+                       KeyId::FromUnit(query_rng.NextDouble()));
+  }
+  engine.Run();
+  const MessageSimReport report = sim.Report();
+  EXPECT_EQ(report.completed, 20u);
+  // 20 queries share one service queue at the source: the last one
+  // waits through at least the 19 services ahead of it.
+  EXPECT_GE(report.latency.max_ms, 19 * options.service_ms);
+  EXPECT_GT(report.mean_in_flight, 1.0);
+}
+
+TEST(MessageSimTest, LookupsSurviveCrashesRacingDelivery) {
+  Network net = LinkedNetwork(250, 35);
+  EventEngine engine;
+  Rng rng(36);
+  MessageSimOptions options;  // Real latency so crashes land mid-flight.
+  options.timeout_ms = 50.0;
+  options.max_in_flight = 256;
+  MessageSim sim(&engine, &net, options, &rng);
+  Rng query_rng(37);
+  const std::vector<PeerId> alive = net.AlivePeers();
+  for (int q = 0; q < 150; ++q) {
+    const PeerId source =
+        alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+    sim.SubmitLookupAt(static_cast<double>(q), source,
+                       KeyId::FromUnit(query_rng.NextDouble()));
+  }
+  // A third of the network dies in three waves while lookups fly.
+  Rng churn_rng(38);
+  for (double at : {40.0, 80.0, 120.0}) {
+    engine.ScheduleAt(at, [&net, &churn_rng] {
+      std::vector<PeerId> still = net.AlivePeers();
+      for (int i = 0; i < 25; ++i) {
+        const PeerId victim = still[static_cast<size_t>(
+            churn_rng.UniformInt(still.size()))];
+        if (net.peer(victim).alive && net.alive_count() > 1) {
+          net.Crash(victim);
+        }
+      }
+    });
+  }
+  engine.Run(4000000);
+  const MessageSimReport report = sim.Report();
+  // Every lookup terminates — crashes cost timeouts and reroutes, never
+  // a hung query.
+  EXPECT_EQ(report.completed, 150u);
+  EXPECT_GT(report.success_rate, 0.7);
+}
+
+TEST(MessageSimTest, TraceIsSeedDeterministic) {
+  MessageSimOptions options;
+  options.loss_rate = 0.2;
+  options.max_retries = 4;
+  auto run_trace = [&options](uint64_t seed) {
+    Network net = LinkedNetwork(120, 39);
+    EventEngine engine;
+    Rng rng(seed);
+    std::string trace;
+    MessageSimOptions traced = options;
+    traced.trace = &trace;
+    MessageSim sim(&engine, &net, traced, &rng);
+    Rng query_rng(seed ^ 41);
+    const std::vector<PeerId> alive = net.AlivePeers();
+    for (int q = 0; q < 40; ++q) {
+      const PeerId source =
+          alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+      sim.SubmitLookupAt(static_cast<double>(q), source,
+                         KeyId::FromUnit(query_rng.NextDouble()));
+    }
+    engine.Run();
+    return trace;
+  };
+  const std::string first = run_trace(40);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_trace(40));
+  EXPECT_NE(first, run_trace(41));
+}
+
+}  // namespace
+}  // namespace oscar

@@ -1,0 +1,166 @@
+// Equivalence guard for the step-wise routing interface: driving a
+// stepper one hop at a time must reproduce Router::Route exactly —
+// success, hops, wasted, terminal and the full visited path — on both
+// intact and heavily crashed networks.
+
+#include "routing/route_stepper.h"
+
+#include <gtest/gtest.h>
+
+#include "churn/churn.h"
+#include "overlay/kleinberg/kleinberg_overlay.h"
+#include "routing/backtracking_router.h"
+#include "routing/greedy_router.h"
+
+namespace oscar {
+namespace {
+
+Network LinkedNetwork(size_t n, uint64_t seed) {
+  Network net;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{8, 8});
+  }
+  KleinbergOverlay overlay;
+  for (PeerId id : net.AlivePeers()) {
+    EXPECT_TRUE(overlay.BuildLinks(&net, id, &rng).ok());
+  }
+  return net;
+}
+
+/// Drives `stepper` exactly as the corresponding Router::Route does:
+/// greedy bounds steps, backtracking bounds messages.
+RouteResult Drive(RouteStepper* stepper, const Network& net, PeerId source,
+                  KeyId target) {
+  stepper->Start(net, source, target);
+  if (stepper->name() == "greedy") {
+    const size_t max_steps = 4 * net.alive_count() + 16;
+    for (size_t step = 0; step < max_steps && !stepper->done(); ++step) {
+      stepper->Step(net);
+    }
+  } else {
+    const size_t max_messages = 8 * net.alive_count() + 64;
+    while (!stepper->done() && stepper->result().hops +
+                                       stepper->result().wasted <
+                                   max_messages) {
+      stepper->Step(net);
+    }
+  }
+  if (!stepper->done()) stepper->Abandon(net);
+  return stepper->result();
+}
+
+void ExpectSameRoute(const RouteResult& a, const RouteResult& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.hops, b.hops);
+  EXPECT_EQ(a.wasted, b.wasted);
+  EXPECT_EQ(a.terminal, b.terminal);
+  EXPECT_EQ(a.path, b.path);
+}
+
+void CheckEquivalence(const Network& net, uint64_t query_seed) {
+  GreedyRouter greedy;
+  BacktrackingRouter backtracking;
+  GreedyStepper greedy_stepper;
+  BacktrackingStepper backtracking_stepper;
+  Rng rng(query_seed);
+  const std::vector<PeerId> peers = net.AlivePeers();
+  for (int q = 0; q < 300; ++q) {
+    const KeyId key = KeyId::FromUnit(rng.NextDouble());
+    const PeerId source =
+        peers[static_cast<size_t>(rng.UniformInt(peers.size()))];
+    ExpectSameRoute(Drive(&greedy_stepper, net, source, key),
+                    greedy.Route(net, source, key));
+    ExpectSameRoute(Drive(&backtracking_stepper, net, source, key),
+                    backtracking.Route(net, source, key));
+  }
+}
+
+TEST(RouteStepperTest, MatchesRouteOnIntactNetwork) {
+  CheckEquivalence(LinkedNetwork(250, 11), 12);
+}
+
+TEST(RouteStepperTest, MatchesRouteUnderHeavyCrashes) {
+  Network net = LinkedNetwork(300, 13);
+  Rng churn_rng(14);
+  ASSERT_TRUE(CrashFraction(&net, 0.33, &churn_rng).ok());
+  CheckEquivalence(net, 15);
+}
+
+TEST(RouteStepperTest, StepperIsReusableAcrossRoutes) {
+  Network net = LinkedNetwork(120, 16);
+  BacktrackingStepper stepper;
+  BacktrackingRouter router;
+  Rng rng(17);
+  const std::vector<PeerId> peers = net.AlivePeers();
+  for (int q = 0; q < 50; ++q) {
+    const KeyId key = KeyId::FromUnit(rng.NextDouble());
+    const PeerId source =
+        peers[static_cast<size_t>(rng.UniformInt(peers.size()))];
+    ExpectSameRoute(Drive(&stepper, net, source, key),
+                    router.Route(net, source, key));
+  }
+}
+
+TEST(RouteStepperTest, FailDeliveryRoutesAroundMidFlightCrash) {
+  Network net = LinkedNetwork(200, 18);
+  BacktrackingStepper stepper;
+  Rng rng(19);
+  const std::vector<PeerId> peers = net.AlivePeers();
+  int exercised = 0;
+  for (int q = 0; q < 100 && exercised < 20; ++q) {
+    const KeyId key = KeyId::FromUnit(rng.NextDouble());
+    const PeerId source =
+        peers[static_cast<size_t>(rng.UniformInt(peers.size()))];
+    // Work on a private copy: the crash below must not leak into later
+    // iterations.
+    Network copy = net;
+    stepper.Start(copy, source, key);
+    if (stepper.done()) continue;
+    const RouteStep first = stepper.Step(copy);
+    if (first.kind != StepKind::kForward) continue;
+    // The chosen next hop dies while the message is in flight.
+    copy.Crash(first.to);
+    if (!copy.peer(source).alive || copy.alive_count() < 2) continue;
+    const uint32_t hops_before = stepper.result().hops;
+    const uint32_t wasted_before = stepper.result().wasted;
+    ASSERT_TRUE(stepper.FailDelivery(copy));
+    EXPECT_EQ(stepper.current(), source);  // Back at the sender.
+    EXPECT_EQ(stepper.result().hops, hops_before - 1);  // Hop refunded...
+    EXPECT_EQ(stepper.result().wasted, wasted_before + 1);  // ...as waste.
+    // Routing continues around the corpse and still succeeds.
+    const RouteResult finished = [&] {
+      const size_t max_messages = 8 * copy.alive_count() + 64;
+      while (!stepper.done() && stepper.result().hops +
+                                        stepper.result().wasted <
+                                    max_messages) {
+        stepper.Step(copy);
+      }
+      if (!stepper.done()) stepper.Abandon(copy);
+      return stepper.result();
+    }();
+    if (copy.OwnerOf(key).has_value()) {
+      EXPECT_TRUE(finished.success);
+      EXPECT_EQ(finished.terminal, *copy.OwnerOf(key));
+    }
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 20);
+}
+
+TEST(RouteStepperTest, FailDeliveryAtOriginReportsNothingToRevert) {
+  Network net = LinkedNetwork(50, 20);
+  GreedyStepper stepper;
+  const PeerId source = net.AlivePeers().front();
+  stepper.Start(net, source, net.peer(source).key);
+  EXPECT_FALSE(stepper.FailDelivery(net));
+}
+
+TEST(RouteStepperTest, MakeRouteStepperResolvesNames) {
+  EXPECT_TRUE(MakeRouteStepper("greedy").ok());
+  EXPECT_TRUE(MakeRouteStepper("backtracking").ok());
+  EXPECT_FALSE(MakeRouteStepper("dijkstra").ok());
+}
+
+}  // namespace
+}  // namespace oscar

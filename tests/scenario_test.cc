@@ -1,0 +1,70 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace oscar {
+namespace {
+
+ScenarioOptions TinyScale() {
+  ScenarioOptions base;
+  base.network_size = 150;
+  base.lookups = 80;
+  base.seed = 42;
+  return base;
+}
+
+TEST(ScenarioTest, EveryCatalogEntryRunsAndCompletes) {
+  for (const std::string& name : ScenarioCatalog()) {
+    auto run = RunScenario(name, TinyScale());
+    ASSERT_TRUE(run.ok()) << name << ": " << run.status();
+    const ScenarioResult& result = run.value();
+    EXPECT_EQ(result.report.submitted, 80u) << name;
+    EXPECT_EQ(result.report.completed, 80u) << name;
+    EXPECT_GT(result.report.success_rate, 0.5) << name;
+    EXPECT_GT(result.events_dispatched, 0u) << name;
+  }
+}
+
+TEST(ScenarioTest, UnknownScenarioIsAnError) {
+  EXPECT_FALSE(RunScenario("thundering-herd", TinyScale()).ok());
+}
+
+TEST(ScenarioTest, FlashCrowdConcentratesLoadOnHotOwners) {
+  auto baseline = RunScenario("baseline", TinyScale());
+  auto crowd = RunScenario("flash-crowd", TinyScale());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_TRUE(crowd.ok()) << crowd.status();
+  // A Zipf burst on 16 hot keys funnels traffic through far fewer
+  // peers than the organically skewed baseline stream.
+  EXPECT_GT(crowd.value().report.peer_load.gini,
+            baseline.value().report.peer_load.gini);
+  EXPECT_GT(crowd.value().report.peak_in_flight,
+            baseline.value().report.peak_in_flight);
+}
+
+TEST(ScenarioTest, RollingChurnCrashesAndJoinsPeers) {
+  auto run = RunScenario("rolling-churn", TinyScale());
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run.value().crashed, 0u);
+  EXPECT_GT(run.value().joined, 0u);
+}
+
+TEST(ScenarioTest, MessageLossTriggersRetries) {
+  auto run = RunScenario("message-loss", TinyScale());
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run.value().report.retries, 0u);
+  EXPECT_GT(run.value().report.lost_messages, 0u);
+}
+
+TEST(ScenarioTest, CrossCheckMatchesSynchronousEngine) {
+  for (uint64_t seed : {42u, 43u}) {
+    ScenarioOptions base = TinyScale();
+    base.seed = seed;
+    auto checked = CrossCheckMessageVsSync(base);
+    ASSERT_TRUE(checked.ok()) << "seed " << seed << ": " << checked.status();
+    EXPECT_EQ(checked.value(), 80u);
+  }
+}
+
+}  // namespace
+}  // namespace oscar

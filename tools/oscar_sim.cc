@@ -1,0 +1,135 @@
+// Scenario runner for the discrete-event message-level simulator.
+//
+//   oscar_sim                  run every cataloged scenario
+//   oscar_sim flash-crowd ...  run the named scenario(s)
+//   oscar_sim --list           print the catalog
+//   oscar_sim --cross-check    verify the message engine reproduces the
+//                              synchronous engine's per-query hop counts
+//                              (zero latency, one lookup in flight)
+//
+// Scale and seed come from the same environment knobs the bench
+// harnesses use (see ScaleFromEnv): OSCAR_BENCH_SCALE=small|paper,
+// OSCAR_BENCH_SIZE, OSCAR_BENCH_QUERIES (lookups), OSCAR_BENCH_SEED.
+// Output follows the harness conventions — `#`-prefixed banner, aligned
+// tables — and is byte-identical across runs with identical knobs.
+//
+// Exit codes: 0 on success, 1 on a failed cross-check, 2 on an
+// infrastructure error (unknown scenario, experiment Status error).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/experiments.h"
+#include "sim/scenario.h"
+
+namespace oscar {
+namespace {
+
+void PrintBanner(const ExperimentScale& scale) {
+  std::cout << "###############################################\n"
+            << "# oscar_sim\n"
+            << "# Discrete-event message-level scenario runner\n"
+            << "# scale: target_size=" << scale.target_size
+            << " queries=" << scale.queries << " seed=" << scale.seed
+            << " (OSCAR_BENCH_SCALE=small|paper)\n"
+            << "###############################################\n";
+}
+
+int RunCli(const std::vector<std::string>& args) {
+  bool list = false;
+  bool cross_check = false;
+  std::vector<std::string> names;
+  for (const std::string& arg : args) {
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--cross-check") {
+      cross_check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: oscar_sim [--list] [--cross-check] "
+                   "[scenario ...]\nscenarios:";
+      for (const std::string& name : ScenarioCatalog()) {
+        std::cout << " " << name;
+      }
+      std::cout << "\n";
+      return 0;
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  const ExperimentScale scale = ScaleFromEnv();
+  ScenarioOptions base;
+  base.network_size = scale.target_size;
+  base.lookups = scale.queries;
+  base.seed = scale.seed;
+
+  if (list) {
+    for (const std::string& name : ScenarioCatalog()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  PrintBanner(scale);
+
+  if (cross_check) {
+    auto checked = CrossCheckMessageVsSync(base);
+    if (!checked.ok()) {
+      std::cout << "# cross-check: message-level vs synchronous ... "
+                << "MISMATCH (" << checked.status().message() << ")\n";
+      return 1;
+    }
+    std::cout << "# cross-check: message-level vs synchronous hop counts"
+              << " over " << checked.value() << " queries ... OK\n";
+    if (names.empty()) return 0;
+  }
+
+  if (names.empty()) names = ScenarioCatalog();
+
+  TablePrinter table("scenario runs (message-level engine)");
+  table.SetHeader({"scenario", "n", "lookups", "done", "ok%", "p50_ms",
+                   "p95_ms", "hops", "wasted", "msgs", "timeout", "retry",
+                   "peak_ifl", "load_p2m", "gini", "crash", "join"});
+  for (const std::string& name : names) {
+    auto run = RunScenario(name, base);
+    if (!run.ok()) {
+      std::cerr << "oscar_sim: " << name << ": " << run.status().message()
+                << "\n";
+      return 2;
+    }
+    const ScenarioResult& result = run.value();
+    const MessageSimReport& report = result.report;
+    table.AddRow({
+        name,
+        StrCat(result.options.network_size),
+        StrCat(report.submitted),
+        StrCat(report.completed),
+        FormatDouble(report.success_rate * 100.0, 1),
+        FormatDouble(report.latency.p50_ms, 1),
+        FormatDouble(report.latency.p95_ms, 1),
+        FormatDouble(report.mean_hops, 2),
+        FormatDouble(report.mean_wasted, 2),
+        StrCat(report.messages_sent),
+        StrCat(report.timeouts),
+        StrCat(report.retries),
+        StrCat(report.peak_in_flight),
+        FormatDouble(report.peer_load.peak_to_mean, 1),
+        FormatDouble(report.peer_load.gini, 3),
+        StrCat(result.crashed),
+        StrCat(result.joined),
+    });
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace oscar
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return oscar::RunCli(args);
+}
