@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Runs every runnable figure/xtab harness at smoke scale and fails on
 # any nonzero exit or `# shape-check: ... VIOLATED` line. micro_core is
-# excluded: it is a wall-clock microbenchmark with no shape checks.
+# excluded from the gate (it is a wall-clock microbenchmark with no
+# shape checks) but its numbers are captured for the perf artifact.
 #
 #   scripts/run_benches.sh [build_dir]     (default: build)
 #
 # Also reachable as `cmake --build build --target run_benches`. Scale
 # knobs (OSCAR_BENCH_SCALE/SIZE/QUERIES/SEED) pass through to the
 # harnesses.
+#
+# Side effect: writes ${build_dir}/BENCH_pr3.json — per-harness wall
+# time plus micro_core benchmark numbers — the perf-trajectory artifact
+# CI uploads per run. The JSON is informational; the gate is still the
+# exit codes and VIOLATED grep.
 
 set -u
 
@@ -30,6 +36,9 @@ harnesses=(
   xtab_size_estimator
 )
 
+json="${build_dir}/BENCH_pr3.json"
+json_rows=()
+
 fail=0
 for harness in "${harnesses[@]}"; do
   bin="${build_dir}/${harness}"
@@ -39,8 +48,13 @@ for harness in "${harnesses[@]}"; do
     continue
   fi
   log="${build_dir}/${harness}.run_benches.log"
+  start_ns=$(date +%s%N)
   "${bin}" > "${log}" 2>&1
   status=$?
+  end_ns=$(date +%s%N)
+  wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" \
+           'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+  json_rows+=("    {\"name\": \"${harness}\", \"wall_s\": ${wall_s}, \"exit\": ${status}}")
   if [[ "${status}" -ne 0 ]]; then
     echo "run_benches: FAIL(exit=${status}) ${harness} — see ${log}" >&2
     fail=1
@@ -52,7 +66,55 @@ for harness in "${harnesses[@]}"; do
   fi
 done
 
+# micro_core numbers. Real google-benchmark lines look like
+# `BM_GreedyRoute/1000   3075 ns   3075 ns   22830`; the bundled stub
+# prints `BM_GreedyRoute/1000   3075.0 ns/iter (stub, N iters)`.
+micro_rows=()
+if [[ -x "${build_dir}/micro_core" ]]; then
+  while IFS= read -r line; do
+    micro_rows+=("${line}")
+  done < <("${build_dir}/micro_core" --benchmark_min_time=0.05 2>/dev/null |
+    awk '/^BM_/ { unit = $3; sub(/\/iter.*/, "", unit);
+                  printf "    {\"benchmark\": \"%s\", \"time\": %s, \"unit\": \"%s\"},\n", $1, $2, unit }')
+  # Strip the trailing comma of the last row.
+  if [[ "${#micro_rows[@]}" -gt 0 ]]; then
+    last=$(( ${#micro_rows[@]} - 1 ))
+    micro_rows[${last}]="${micro_rows[${last}]%,}"
+  fi
+fi
+
+# Mirror the harnesses' EnvOrDefault semantics: a non-integer seed
+# falls back to the default instead of corrupting the JSON.
+seed="${OSCAR_BENCH_SEED:-42}"
+[[ "${seed}" =~ ^[0-9]+$ ]] || seed=42
+scale="${OSCAR_BENCH_SCALE:-small}"
+[[ "${scale}" =~ ^[A-Za-z0-9_-]+$ ]] || scale=small
+
+{
+  echo "{"
+  echo "  \"schema\": \"oscar-bench-v1\","
+  echo "  \"scale\": \"${scale}\","
+  echo "  \"seed\": ${seed},"
+  echo "  \"harnesses\": ["
+  if [[ "${#json_rows[@]}" -gt 0 ]]; then
+    for i in "${!json_rows[@]}"; do
+      if [[ "${i}" -lt $(( ${#json_rows[@]} - 1 )) ]]; then
+        echo "${json_rows[${i}]},"
+      else
+        echo "${json_rows[${i}]}"
+      fi
+    done
+  fi
+  echo "  ],"
+  echo "  \"micro_core\": ["
+  for row in "${micro_rows[@]+"${micro_rows[@]}"}"; do
+    echo "${row}"
+  done
+  echo "  ]"
+  echo "}"
+} > "${json}"
+
 if [[ "${fail}" -eq 0 ]]; then
-  echo "run_benches: all ${#harnesses[@]} harnesses passed"
+  echo "run_benches: all ${#harnesses[@]} harnesses passed (perf: ${json})"
 fi
 exit "${fail}"

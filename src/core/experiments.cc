@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "churn/churn.h"
 #include "common/string_util.h"
+#include "core/topology_snapshot.h"
 #include "overlay/chord/chord_overlay.h"
 #include "overlay/kleinberg/kleinberg_overlay.h"
 #include "overlay/mercury/mercury_overlay.h"
@@ -142,6 +144,12 @@ Result<std::vector<SearchCostRow>> RunSearchCostVsSize(
       // 10% one) and replays the same query keys. The measured deltas
       // between churn levels are then structural, not sampling noise.
       const uint64_t eval_seed = rng->Next();
+      // Every churn level crashes its own restore of one shared
+      // frozen snapshot — the same snapshot-restore path the scenario
+      // replays use. A restore is structurally identical to a Network
+      // copy (guarded by topology_snapshot_test), which keeps these
+      // rows byte-identical to the historical deep-copy evaluation.
+      std::optional<TopologySnapshot> frozen;
       for (const double churn : churn_fractions) {
         SearchCostRow row;
         row.series = degree_name;
@@ -160,7 +168,8 @@ Result<std::vector<SearchCostRow>> RunSearchCostVsSize(
           eval = EvaluateSearch(net, BacktrackingRouter(), search,
                                 &query_rng);
         } else {
-          Network crashed = net;  // Crash a snapshot, keep growing.
+          if (!frozen.has_value()) frozen.emplace(net);
+          Network crashed = frozen->Restore();  // Crash it, keep growing.
           Rng crash_rng(eval_seed);
           auto crash_result = CrashFraction(&crashed, churn, &crash_rng);
           if (!crash_result.ok()) return crash_result.status();

@@ -97,18 +97,5 @@ uint32_t Network::RemainingOutBudget(PeerId id) const {
   return peer.caps.max_out > used ? peer.caps.max_out - used : 0;
 }
 
-void Network::AppendNeighbors(PeerId id, std::vector<PeerId>* out) const {
-  const auto succ = SuccessorOf(id);
-  const auto pred = PredecessorOf(id);
-  if (succ.has_value()) out->push_back(*succ);
-  if (pred.has_value() && pred != succ) out->push_back(*pred);
-  for (PeerId target : peers_[id].long_out) out->push_back(target);
-}
-
-void Network::AppendWalkNeighbors(PeerId id,
-                                  std::vector<PeerId>* out) const {
-  AppendNeighbors(id, out);
-  for (PeerId source : peers_[id].long_in_peers) out->push_back(source);
-}
 
 }  // namespace oscar

@@ -70,17 +70,12 @@ class Network {
   /// Remaining out-link budget of an alive peer.
   uint32_t RemainingOutBudget(PeerId id) const;
 
-  /// Appends the routing neighbors of `id`: ring predecessor/successor
-  /// (always alive) followed by long-link targets (possibly dead).
-  void AppendNeighbors(PeerId id, std::vector<PeerId>* out) const;
-
-  /// Appends the undirected gossip neighborhood of `id`: routing
-  /// neighbors plus the peers holding long links TO `id`. Random walks
-  /// use this symmetric view — walking only out-links concentrates the
-  /// stationary distribution on already-popular peers.
-  void AppendWalkNeighbors(PeerId id, std::vector<PeerId>* out) const;
-
  private:
+  // TopologySnapshot::Restore() rebuilds the peer table and ring index
+  // directly from its flat arrays (Join/AddLongLink cannot recreate
+  // dead peers or dangling links).
+  friend class TopologySnapshot;
+
   std::optional<PeerId> RingNeighbor(PeerId id, bool clockwise) const;
 
   std::vector<Peer> peers_;

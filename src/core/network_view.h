@@ -1,0 +1,109 @@
+// NetworkView: one read interface over the two topology backends — a
+// live, mutable Network and a frozen TopologySnapshot. It is a cheap
+// value type (two pointers) constructed implicitly from either backend,
+// so every read-side consumer (routers, steppers, samplers, size
+// estimators, structural metrics) is written once and runs unchanged
+// against a growing network or a shared snapshot. Dispatch is a single
+// predictable branch per call; both backends expose the same Ring, so
+// ring queries are forwarded without translation.
+//
+// A view does not own its backend: it is valid only while the Network
+// or TopologySnapshot it was built from is alive, and reads through a
+// view of a Network observe mutations immediately (exactly like the
+// const Network& parameters it replaces).
+
+#ifndef OSCAR_CORE_NETWORK_VIEW_H_
+#define OSCAR_CORE_NETWORK_VIEW_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/key_id.h"
+#include "core/network.h"
+#include "core/ring.h"
+#include "core/topology_snapshot.h"
+
+namespace oscar {
+
+class NetworkView {
+ public:
+  // Implicit by design: every `const Network&` read signature upgraded
+  // to NetworkView keeps its call sites source-compatible.
+  NetworkView(const Network& net) : net_(&net) {}           // NOLINT
+  NetworkView(const TopologySnapshot& snap) : snap_(&snap) {}  // NOLINT
+
+  size_t size() const { return net_ ? net_->size() : snap_->size(); }
+  size_t alive_count() const { return ring().size(); }
+  const Ring& ring() const { return net_ ? net_->ring() : snap_->ring(); }
+
+  KeyId key(PeerId id) const {
+    return net_ ? net_->peer(id).key : snap_->key(id);
+  }
+  bool alive(PeerId id) const {
+    return net_ ? net_->peer(id).alive : snap_->alive(id);
+  }
+  DegreeCaps caps(PeerId id) const {
+    return net_ ? net_->peer(id).caps : snap_->caps(id);
+  }
+
+  /// Long out-links of `id` in stored order (may dangle to dead peers).
+  PeerSpan OutLinks(PeerId id) const {
+    if (net_ == nullptr) return snap_->OutLinks(id);
+    const std::vector<PeerId>& out = net_->peer(id).long_out;
+    return {out.data(), out.size()};
+  }
+  /// Alive peers holding a long link to `id`.
+  PeerSpan InLinks(PeerId id) const {
+    if (net_ == nullptr) return snap_->InLinks(id);
+    const std::vector<PeerId>& in = net_->peer(id).long_in_peers;
+    return {in.data(), in.size()};
+  }
+
+  std::optional<PeerId> OwnerOf(KeyId target) const {
+    return ring().OwnerOf(target);
+  }
+  std::optional<PeerId> SuccessorOf(PeerId id) const {
+    return net_ ? net_->SuccessorOf(id) : snap_->SuccessorOf(id);
+  }
+  std::optional<PeerId> PredecessorOf(PeerId id) const {
+    return net_ ? net_->PredecessorOf(id) : snap_->PredecessorOf(id);
+  }
+
+  /// Alive peers in ring (clockwise key) order — composed from the
+  /// shared ring index rather than dispatched per backend.
+  std::vector<PeerId> AlivePeers() const {
+    std::vector<PeerId> out;
+    out.reserve(ring().size());
+    for (const Ring::Entry& entry : ring().entries()) out.push_back(entry.id);
+    return out;
+  }
+
+  /// Appends the routing neighbors of `id`: ring successor and
+  /// predecessor (when distinct, always alive) followed by long
+  /// out-links in stored order (possibly dead). Composed here, once,
+  /// from the backend primitives so the two backends can never drift
+  /// apart in element order — routers are order-sensitive.
+  void AppendNeighbors(PeerId id, std::vector<PeerId>* out) const {
+    const auto succ = SuccessorOf(id);
+    const auto pred = PredecessorOf(id);
+    if (succ.has_value()) out->push_back(*succ);
+    if (pred.has_value() && pred != succ) out->push_back(*pred);
+    for (PeerId target : OutLinks(id)) out->push_back(target);
+  }
+  /// Appends the undirected gossip neighborhood of `id`: routing
+  /// neighbors plus the peers holding long links TO `id`. Random walks
+  /// use this symmetric view — walking only out-links concentrates the
+  /// stationary distribution on already-popular peers.
+  void AppendWalkNeighbors(PeerId id, std::vector<PeerId>* out) const {
+    AppendNeighbors(id, out);
+    for (PeerId source : InLinks(id)) out->push_back(source);
+  }
+
+ private:
+  const Network* net_ = nullptr;
+  const TopologySnapshot* snap_ = nullptr;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_NETWORK_VIEW_H_

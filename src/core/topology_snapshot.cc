@@ -1,0 +1,68 @@
+#include "core/topology_snapshot.h"
+
+namespace oscar {
+
+TopologySnapshot::TopologySnapshot(const Network& net) : ring_(net.ring()) {
+  const size_t n = net.size();
+  keys_.reserve(n);
+  caps_.reserve(n);
+  alive_.reserve(n);
+  out_offsets_.reserve(n + 1);
+  in_offsets_.reserve(n + 1);
+  size_t total_out = 0, total_in = 0;
+  for (PeerId id = 0; id < n; ++id) {
+    total_out += net.peer(id).long_out.size();
+    total_in += net.peer(id).long_in_peers.size();
+  }
+  out_edges_.reserve(total_out);
+  in_edges_.reserve(total_in);
+  out_offsets_.push_back(0);
+  in_offsets_.push_back(0);
+  for (PeerId id = 0; id < n; ++id) {
+    const Peer& peer = net.peer(id);
+    keys_.push_back(peer.key);
+    caps_.push_back(peer.caps);
+    alive_.push_back(peer.alive ? 1 : 0);
+    out_edges_.insert(out_edges_.end(), peer.long_out.begin(),
+                      peer.long_out.end());
+    in_edges_.insert(in_edges_.end(), peer.long_in_peers.begin(),
+                     peer.long_in_peers.end());
+    out_offsets_.push_back(static_cast<uint32_t>(out_edges_.size()));
+    in_offsets_.push_back(static_cast<uint32_t>(in_edges_.size()));
+  }
+  ring_pos_.assign(n, kNotOnRing);
+  for (size_t pos = 0; pos < ring_.size(); ++pos) {
+    ring_pos_[ring_.at(pos).id] = static_cast<uint32_t>(pos);
+  }
+}
+
+std::optional<PeerId> TopologySnapshot::RingNeighbor(PeerId id,
+                                                     bool clockwise) const {
+  if (!alive(id) || ring_.size() < 2) return std::nullopt;
+  const uint32_t pos = ring_pos_[id];
+  if (pos == kNotOnRing) return std::nullopt;
+  const size_t n = ring_.size();
+  const size_t next = clockwise ? (pos + 1) % n : (pos + n - 1) % n;
+  return ring_.at(next).id;
+}
+
+Network TopologySnapshot::Restore() const {
+  Network net;
+  const size_t n = size();
+  net.peers_.resize(n);
+  for (PeerId id = 0; id < n; ++id) {
+    Peer& peer = net.peers_[id];
+    peer.key = keys_[id];
+    peer.caps = caps_[id];
+    peer.alive = alive(id);
+    const PeerSpan out = OutLinks(id);
+    peer.long_out.assign(out.begin(), out.end());
+    const PeerSpan in = InLinks(id);
+    peer.long_in_peers.assign(in.begin(), in.end());
+    peer.long_in = static_cast<uint32_t>(peer.long_in_peers.size());
+  }
+  net.ring_ = ring_;
+  return net;
+}
+
+}  // namespace oscar

@@ -1,0 +1,100 @@
+// TopologySnapshot: an immutable, cache-friendly freeze of a Network's
+// read state. Peer attributes live in flat parallel arrays and both
+// link directions are CSR-packed (offsets + one contiguous edge array),
+// so a snapshot is one allocation-light pass to build, cheap to copy,
+// and safe to share across threads or scenario replays. Restore()
+// materializes a fresh mutable Network that is structurally identical
+// to the one the snapshot was taken from — the substrate for replaying
+// many crash/churn variants against one grown topology instead of
+// regrowing or deep-copying it.
+
+#ifndef OSCAR_CORE_TOPOLOGY_SNAPSHOT_H_
+#define OSCAR_CORE_TOPOLOGY_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/key_id.h"
+#include "core/network.h"
+#include "core/ring.h"
+
+namespace oscar {
+
+/// Non-owning view of a contiguous run of peer ids (a CSR row or a
+/// live Network's link vector). C++17 stand-in for std::span.
+struct PeerSpan {
+  const PeerId* ptr = nullptr;
+  size_t count = 0;
+
+  const PeerId* begin() const { return ptr; }
+  const PeerId* end() const { return ptr + count; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  PeerId operator[](size_t i) const { return ptr[i]; }
+};
+
+class TopologySnapshot {
+ public:
+  TopologySnapshot() = default;
+  /// Freezes `net` in one pass over its peer table and ring index.
+  explicit TopologySnapshot(const Network& net);
+
+  size_t size() const { return keys_.size(); }
+  size_t alive_count() const { return ring_.size(); }
+  KeyId key(PeerId id) const { return keys_[id]; }
+  bool alive(PeerId id) const { return alive_[id] != 0; }
+  DegreeCaps caps(PeerId id) const { return caps_[id]; }
+  const Ring& ring() const { return ring_; }
+
+  /// Long out-links of `id`, in the exact order the live Network held
+  /// them (possibly dangling to dead peers). In-links are the alive
+  /// peers that held a link to `id` at freeze time.
+  PeerSpan OutLinks(PeerId id) const {
+    return {out_edges_.data() + out_offsets_[id],
+            out_offsets_[id + 1] - out_offsets_[id]};
+  }
+  PeerSpan InLinks(PeerId id) const {
+    return {in_edges_.data() + in_offsets_[id],
+            in_offsets_[id + 1] - in_offsets_[id]};
+  }
+
+  std::optional<PeerId> OwnerOf(KeyId key) const { return ring_.OwnerOf(key); }
+
+  /// Ring neighbors, identical semantics to Network::SuccessorOf /
+  /// PredecessorOf but O(1): the ring position of every alive peer is
+  /// precomputed at freeze time.
+  std::optional<PeerId> SuccessorOf(PeerId id) const {
+    return RingNeighbor(id, /*clockwise=*/true);
+  }
+  std::optional<PeerId> PredecessorOf(PeerId id) const {
+    return RingNeighbor(id, /*clockwise=*/false);
+  }
+
+  /// Materializes a mutable Network structurally identical to the one
+  /// this snapshot froze (peer order, link order, ring index). A
+  /// restore is what churn experiments crash instead of deep-copying
+  /// the grown network once per crash level.
+  Network Restore() const;
+
+ private:
+  std::optional<PeerId> RingNeighbor(PeerId id, bool clockwise) const;
+
+  std::vector<KeyId> keys_;
+  std::vector<DegreeCaps> caps_;
+  std::vector<uint8_t> alive_;
+  // CSR link storage: row i spans [offsets[i], offsets[i + 1]).
+  std::vector<uint32_t> out_offsets_;
+  std::vector<PeerId> out_edges_;
+  std::vector<uint32_t> in_offsets_;
+  std::vector<PeerId> in_edges_;
+  // Position of each alive peer in ring order (kNotOnRing when dead).
+  static constexpr uint32_t kNotOnRing = UINT32_MAX;
+  std::vector<uint32_t> ring_pos_;
+  Ring ring_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_CORE_TOPOLOGY_SNAPSHOT_H_

@@ -6,7 +6,7 @@
 
 namespace oscar {
 
-RoutingLoadReport EvaluateRoutingLoad(const Network& net,
+RoutingLoadReport EvaluateRoutingLoad(NetworkView net,
                                       const Router& router,
                                       const RoutingLoadOptions& options,
                                       Rng* rng) {
@@ -32,11 +32,11 @@ RoutingLoadReport EvaluateRoutingLoad(const Network& net,
   loads.reserve(alive.size());
   double total = 0.0;
   for (PeerId id : alive) {
-    const Peer& peer = net.peer(id);
+    const uint32_t max_in = net.caps(id).max_in;
     loads.push_back(load[id]);
-    capacities.push_back(static_cast<double>(peer.caps.max_in));
-    relative.push_back(peer.caps.max_in > 0
-                           ? load[id] / static_cast<double>(peer.caps.max_in)
+    capacities.push_back(static_cast<double>(max_in));
+    relative.push_back(max_in > 0
+                           ? load[id] / static_cast<double>(max_in)
                            : 0.0);
     total += load[id];
   }

@@ -6,7 +6,7 @@
 
 #include <cstddef>
 
-#include "core/network.h"
+#include "core/network_view.h"
 #include "keyspace/key_distribution.h"
 #include "routing/router.h"
 
@@ -35,7 +35,7 @@ struct RoutingLoadReport {
   double load_capacity_correlation = 0.0;
 };
 
-RoutingLoadReport EvaluateRoutingLoad(const Network& net,
+RoutingLoadReport EvaluateRoutingLoad(NetworkView net,
                                       const Router& router,
                                       const RoutingLoadOptions& options,
                                       Rng* rng);

@@ -5,7 +5,7 @@
 
 namespace oscar {
 
-LinkGeometryReport ComputeLinkGeometry(const Network& net) {
+LinkGeometryReport ComputeLinkGeometry(NetworkView net) {
   LinkGeometryReport report;
   const size_t n = net.alive_count();
   if (n < 2) return report;
@@ -18,10 +18,9 @@ LinkGeometryReport ComputeLinkGeometry(const Network& net) {
   const Ring& ring = net.ring();
   for (size_t index = 0; index < n; ++index) {
     const PeerId id = ring.at(index).id;
-    for (PeerId target : net.peer(id).long_out) {
-      const Peer& dst = net.peer(target);
-      if (!dst.alive) continue;
-      const auto target_index = ring.IndexOf(dst.key, target);
+    for (PeerId target : net.OutLinks(id)) {
+      if (!net.alive(target)) continue;
+      const auto target_index = ring.IndexOf(net.key(target), target);
       if (!target_index.has_value()) continue;
       const size_t rank = (*target_index + n - index) % n;
       if (rank == 0) continue;

@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/network.h"
+#include "core/network_view.h"
 
 namespace oscar {
 
@@ -24,7 +24,7 @@ struct LinkGeometryReport {
   double octave_imbalance = 0.0;
 };
 
-LinkGeometryReport ComputeLinkGeometry(const Network& net);
+LinkGeometryReport ComputeLinkGeometry(NetworkView net);
 
 }  // namespace oscar
 

@@ -4,7 +4,7 @@
 
 namespace oscar {
 
-RouteResult BacktrackingRouter::Route(const Network& net, PeerId source,
+RouteResult BacktrackingRouter::Route(NetworkView net, PeerId source,
                                       KeyId target) const {
   BacktrackingStepper stepper;
   stepper.Start(net, source, target);

@@ -15,7 +15,7 @@ namespace oscar {
 
 class BacktrackingRouter : public Router {
  public:
-  RouteResult Route(const Network& net, PeerId source,
+  RouteResult Route(NetworkView net, PeerId source,
                     KeyId target) const override;
   std::string name() const override { return "backtracking"; }
 };

@@ -4,7 +4,7 @@
 
 namespace oscar {
 
-RouteResult GreedyRouter::Route(const Network& net, PeerId source,
+RouteResult GreedyRouter::Route(NetworkView net, PeerId source,
                                 KeyId target) const {
   GreedyStepper stepper;
   stepper.Start(net, source, target);

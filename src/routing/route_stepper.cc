@@ -8,7 +8,7 @@ namespace oscar {
 
 // ---- GreedyStepper -------------------------------------------------------
 
-void GreedyStepper::Start(const Network& net, PeerId source, KeyId target) {
+void GreedyStepper::Start(NetworkView net, PeerId source, KeyId target) {
   result_ = RouteResult{};
   result_.terminal = source;
   result_.path.push_back(source);
@@ -16,10 +16,10 @@ void GreedyStepper::Start(const Network& net, PeerId source, KeyId target) {
   current_ = source;
   done_ = false;
   const auto owner = net.OwnerOf(target);
-  if (!owner.has_value() || !net.peer(source).alive) done_ = true;
+  if (!owner.has_value() || !net.alive(source)) done_ = true;
 }
 
-RouteStep GreedyStepper::Step(const Network& net) {
+RouteStep GreedyStepper::Step(NetworkView net) {
   RouteStep step;
   step.from = current_;
   const auto owner = net.OwnerOf(target_);
@@ -32,14 +32,13 @@ RouteStep GreedyStepper::Step(const Network& net) {
   }
   neighbors_.clear();
   net.AppendNeighbors(current_, &neighbors_);
-  const uint64_t here = RingDistance(net.peer(current_).key, target_);
+  const uint64_t here = RingDistance(net.key(current_), target_);
   bool moved = false;
   PeerId best = current_;
   uint64_t best_distance = here;
   for (PeerId candidate : neighbors_) {
-    const Peer& peer = net.peer(candidate);
-    if (!peer.alive) continue;  // Dead probes are charged lazily below.
-    const uint64_t d = RingDistance(peer.key, target_);
+    if (!net.alive(candidate)) continue;  // Dead probes charged lazily below.
+    const uint64_t d = RingDistance(net.key(candidate), target_);
     if (d < best_distance) {
       best = candidate;
       best_distance = d;
@@ -61,20 +60,19 @@ RouteStep GreedyStepper::Step(const Network& net) {
           ? UINT64_MAX
           : best_distance + best_distance / 2;
   for (PeerId candidate : neighbors_) {
-    const Peer& peer = net.peer(candidate);
-    if (!peer.alive || candidate == best) continue;
-    const uint64_t d = RingDistance(peer.key, target_);
+    if (!net.alive(candidate) || candidate == best) continue;
+    const uint64_t d = RingDistance(net.key(candidate), target_);
     if (d < here && d <= band &&
-        peer.caps.max_in > net.peer(best).caps.max_in) {
+        net.caps(candidate).max_in > net.caps(best).max_in) {
       best = candidate;
     }
   }
-  best_distance = RingDistance(net.peer(best).key, target_);
+  best_distance = RingDistance(net.key(best), target_);
   // Charge probes for dead long links that looked strictly better than
   // the hop we ended up taking (the peer would have tried them first).
   for (PeerId candidate : neighbors_) {
-    const Peer& peer = net.peer(candidate);
-    if (!peer.alive && RingDistance(peer.key, target_) < best_distance) {
+    if (!net.alive(candidate) &&
+        RingDistance(net.key(candidate), target_) < best_distance) {
       ++result_.wasted;
       ++step.dead_probes;
     }
@@ -88,14 +86,14 @@ RouteStep GreedyStepper::Step(const Network& net) {
   return step;
 }
 
-void GreedyStepper::Abandon(const Network& net) {
+void GreedyStepper::Abandon(NetworkView net) {
   const auto owner = net.OwnerOf(target_);
   result_.terminal = current_;
   result_.success = owner.has_value() && current_ == *owner;
   done_ = true;
 }
 
-bool GreedyStepper::FailDelivery(const Network& net) {
+bool GreedyStepper::FailDelivery(NetworkView net) {
   (void)net;
   if (done_ || result_.path.size() < 2) return false;
   result_.path.pop_back();
@@ -108,7 +106,7 @@ bool GreedyStepper::FailDelivery(const Network& net) {
 
 // ---- BacktrackingStepper -------------------------------------------------
 
-void BacktrackingStepper::Start(const Network& net, PeerId source,
+void BacktrackingStepper::Start(NetworkView net, PeerId source,
                                 KeyId target) {
   result_ = RouteResult{};
   result_.terminal = source;
@@ -120,10 +118,10 @@ void BacktrackingStepper::Start(const Network& net, PeerId source,
   probed_dead_.clear();
   stack_ = {source};
   const auto owner = net.OwnerOf(target);
-  if (!owner.has_value() || !net.peer(source).alive) done_ = true;
+  if (!owner.has_value() || !net.alive(source)) done_ = true;
 }
 
-RouteStep BacktrackingStepper::Step(const Network& net) {
+RouteStep BacktrackingStepper::Step(NetworkView net) {
   RouteStep step;
   const PeerId current = stack_.back();
   step.from = current;
@@ -139,7 +137,7 @@ RouteStep BacktrackingStepper::Step(const Network& net) {
   net.AppendNeighbors(current, &neighbors_);
   ordered_.clear();
   for (PeerId candidate : neighbors_) {
-    ordered_.emplace_back(RingDistance(net.peer(candidate).key, target_),
+    ordered_.emplace_back(RingDistance(net.key(candidate), target_),
                           candidate);
   }
   std::sort(ordered_.begin(), ordered_.end());
@@ -149,7 +147,7 @@ RouteStep BacktrackingStepper::Step(const Network& net) {
   for (const auto& [distance, candidate] : ordered_) {
     (void)distance;
     if (visited_.count(candidate) != 0) continue;
-    if (!net.peer(candidate).alive) {
+    if (!net.alive(candidate)) {
       // First probe of a dead neighbor costs a message; remember it so
       // revisits after backtracking don't double-charge.
       if (probed_dead_.insert(candidate).second) {
@@ -187,7 +185,7 @@ RouteStep BacktrackingStepper::Step(const Network& net) {
   return step;
 }
 
-void BacktrackingStepper::Abandon(const Network& net) {
+void BacktrackingStepper::Abandon(NetworkView net) {
   const auto owner = net.OwnerOf(target_);
   const PeerId terminal = stack_.empty() ? source_ : stack_.back();
   result_.terminal = terminal;
@@ -196,7 +194,7 @@ void BacktrackingStepper::Abandon(const Network& net) {
   done_ = true;
 }
 
-bool BacktrackingStepper::FailDelivery(const Network& net) {
+bool BacktrackingStepper::FailDelivery(NetworkView net) {
   (void)net;
   if (done_ || stack_.size() < 2) return false;
   const PeerId failed = stack_.back();

@@ -44,20 +44,20 @@ class RouteStepper {
 
   /// Resets to a fresh route from `source` toward `target`. The stepper
   /// may be done() immediately (dead source, empty ring): a failure.
-  virtual void Start(const Network& net, PeerId source, KeyId target) = 0;
+  virtual void Start(NetworkView net, PeerId source, KeyId target) = 0;
 
   /// Advances the route by one decision. Precondition: !done(). The
   /// target's owner is re-resolved against `net` on every call, so
   /// liveness changes between steps are observed (identical to the
   /// whole-path routers while `net` is unchanged during a route).
-  virtual RouteStep Step(const Network& net) = 0;
+  virtual RouteStep Step(NetworkView net) = 0;
 
   virtual bool done() const = 0;
 
   /// Finishes the route in its current state — the caller's message
   /// budget ran out. Mirrors the whole-path routers' loop-exhaustion
   /// path: success iff the route happens to sit on the owner.
-  virtual void Abandon(const Network& net) = 0;
+  virtual void Abandon(NetworkView net) = 0;
 
   /// Reverts the route one level after a failed delivery: the message
   /// to the current position never arrived (its holder crashed). The
@@ -66,7 +66,7 @@ class RouteStepper {
   /// when the failed peer is now dead — a live peer would be re-chosen
   /// by a greedy re-step. Returns false (and does nothing) when the
   /// route is already at its origin with nothing to revert.
-  virtual bool FailDelivery(const Network& net) = 0;
+  virtual bool FailDelivery(NetworkView net) = 0;
 
   /// Accumulated route result; final once done().
   virtual const RouteResult& result() const = 0;
@@ -83,11 +83,11 @@ using RouteStepperPtr = std::unique_ptr<RouteStepper>;
 /// relaxation and lazy dead-probe charging included).
 class GreedyStepper : public RouteStepper {
  public:
-  void Start(const Network& net, PeerId source, KeyId target) override;
-  RouteStep Step(const Network& net) override;
+  void Start(NetworkView net, PeerId source, KeyId target) override;
+  RouteStep Step(NetworkView net) override;
   bool done() const override { return done_; }
-  void Abandon(const Network& net) override;
-  bool FailDelivery(const Network& net) override;
+  void Abandon(NetworkView net) override;
+  bool FailDelivery(NetworkView net) override;
   const RouteResult& result() const override { return result_; }
   PeerId current() const override { return current_; }
   std::string name() const override { return "greedy"; }
@@ -104,11 +104,11 @@ class GreedyStepper : public RouteStepper {
 /// one forward or backtrack move per Step.
 class BacktrackingStepper : public RouteStepper {
  public:
-  void Start(const Network& net, PeerId source, KeyId target) override;
-  RouteStep Step(const Network& net) override;
+  void Start(NetworkView net, PeerId source, KeyId target) override;
+  RouteStep Step(NetworkView net) override;
   bool done() const override { return done_; }
-  void Abandon(const Network& net) override;
-  bool FailDelivery(const Network& net) override;
+  void Abandon(NetworkView net) override;
+  bool FailDelivery(NetworkView net) override;
   const RouteResult& result() const override { return result_; }
   PeerId current() const override {
     return stack_.empty() ? source_ : stack_.back();

@@ -2,6 +2,10 @@
 // reaches the alive peer that owns the key. Probes to crashed neighbors
 // and backtracking moves are charged as `wasted` traffic so the churn
 // figures can report cost including wasted messages.
+//
+// Routes read the topology through NetworkView, so the same algorithm
+// runs against a live Network (implicit conversion keeps existing call
+// sites unchanged) or a frozen TopologySnapshot.
 
 #ifndef OSCAR_ROUTING_ROUTER_H_
 #define OSCAR_ROUTING_ROUTER_H_
@@ -10,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/network.h"
+#include "core/network_view.h"
 
 namespace oscar {
 
@@ -28,7 +32,7 @@ struct RouteResult {
 class Router {
  public:
   virtual ~Router() = default;
-  virtual RouteResult Route(const Network& net, PeerId source,
+  virtual RouteResult Route(NetworkView net, PeerId source,
                             KeyId target) const = 0;
   virtual std::string name() const = 0;
 };

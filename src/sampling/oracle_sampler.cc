@@ -3,7 +3,7 @@
 namespace oscar {
 
 Result<SegmentSample> OracleSegmentSampler::SampleInSegment(
-    const Network& net, PeerId origin, KeyId from, KeyId to,
+    NetworkView net, PeerId origin, KeyId from, KeyId to,
     Rng* rng) const {
   (void)origin;
   const size_t count = net.ring().CountInSegment(from, to);

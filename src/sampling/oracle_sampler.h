@@ -11,7 +11,7 @@ namespace oscar {
 
 class OracleSegmentSampler : public SegmentSampler {
  public:
-  Result<SegmentSample> SampleInSegment(const Network& net, PeerId origin,
+  Result<SegmentSample> SampleInSegment(NetworkView net, PeerId origin,
                                         KeyId from, KeyId to,
                                         Rng* rng) const override;
   std::string name() const override { return "oracle"; }

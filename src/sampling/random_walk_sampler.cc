@@ -7,7 +7,7 @@
 namespace oscar {
 
 Result<SegmentSample> RandomWalkSegmentSampler::SampleInSegment(
-    const Network& net, PeerId origin, KeyId from, KeyId to,
+    NetworkView net, PeerId origin, KeyId from, KeyId to,
     Rng* rng) const {
   const size_t count = net.ring().CountInSegment(from, to);
   if (count == 0) {
@@ -35,7 +35,7 @@ Result<SegmentSample> RandomWalkSegmentSampler::SampleInSegment(
     net.AppendWalkNeighbors(id, scratch_vec);
     out->clear();
     for (PeerId n : *scratch_vec) {
-      if (net.peer(n).alive) out->push_back(n);
+      if (net.alive(n)) out->push_back(n);
     }
   };
   const uint32_t total_steps = options_.burn_in + options_.max_walk_steps;
@@ -47,7 +47,7 @@ Result<SegmentSample> RandomWalkSegmentSampler::SampleInSegment(
   for (uint32_t step = 0; step < total_steps; ++step) {
     if (step >= options_.burn_in &&
         (step - options_.burn_in) % options_.test_stride == 0 &&
-        InClockwiseSegment(net.peer(current).key, from, to)) {
+        InClockwiseSegment(net.key(current), from, to)) {
       return SegmentSample{current, steps};
     }
     if (alive.empty()) break;
@@ -74,12 +74,12 @@ Result<SegmentSample> RandomWalkSegmentSampler::SampleInSegment(
   const RouteResult route = GreedyRouter().Route(net, current, probe);
   steps += route.hops + route.wasted;
   PeerId landed = route.terminal;
-  if (!InClockwiseSegment(net.peer(landed).key, from, to)) {
+  if (!InClockwiseSegment(net.key(landed), from, to)) {
     // The owner of the probe key can sit just outside a sparse segment;
     // snap to the segment's first clockwise peer.
     const auto first = net.ring().SuccessorOfKey(from);
     if (!first.has_value() ||
-        !InClockwiseSegment(net.peer(*first).key, from, to)) {
+        !InClockwiseSegment(net.key(*first), from, to)) {
       return Status::Error("random-walk sampler: segment unreachable");
     }
     landed = *first;
@@ -90,7 +90,7 @@ Result<SegmentSample> RandomWalkSegmentSampler::SampleInSegment(
   for (; hops > 0; --hops) {
     const auto next = net.SuccessorOf(landed);
     if (!next.has_value() ||
-        !InClockwiseSegment(net.peer(*next).key, from, to)) {
+        !InClockwiseSegment(net.key(*next), from, to)) {
       break;
     }
     landed = *next;

@@ -41,7 +41,7 @@ class RandomWalkSegmentSampler : public SegmentSampler {
   explicit RandomWalkSegmentSampler(RandomWalkOptions options)
       : options_(options) {}
 
-  Result<SegmentSample> SampleInSegment(const Network& net, PeerId origin,
+  Result<SegmentSample> SampleInSegment(NetworkView net, PeerId origin,
                                         KeyId from, KeyId to,
                                         Rng* rng) const override;
   std::string name() const override { return "random-walk"; }

@@ -11,7 +11,7 @@
 #include <string>
 
 #include "common/status.h"
-#include "core/network.h"
+#include "core/network_view.h"
 #include "core/rng.h"
 
 namespace oscar {
@@ -27,7 +27,7 @@ class SegmentSampler {
 
   /// Samples an alive peer with key in the clockwise segment [from, to),
   /// as seen from `origin`. Fails when the segment is empty.
-  virtual Result<SegmentSample> SampleInSegment(const Network& net,
+  virtual Result<SegmentSample> SampleInSegment(NetworkView net,
                                                 PeerId origin, KeyId from,
                                                 KeyId to, Rng* rng) const = 0;
   virtual std::string name() const = 0;

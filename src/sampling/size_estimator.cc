@@ -6,14 +6,14 @@
 
 namespace oscar {
 
-double OracleSizeEstimator::Estimate(const Network& net, PeerId origin,
+double OracleSizeEstimator::Estimate(NetworkView net, PeerId origin,
                                      Rng* rng) const {
   (void)origin;
   (void)rng;
   return std::max<double>(1.0, static_cast<double>(net.alive_count()));
 }
 
-double GapSizeEstimator::Estimate(const Network& net, PeerId origin,
+double GapSizeEstimator::Estimate(NetworkView net, PeerId origin,
                                   Rng* rng) const {
   (void)rng;
   const size_t alive = net.alive_count();
@@ -25,7 +25,7 @@ double GapSizeEstimator::Estimate(const Network& net, PeerId origin,
   for (uint32_t i = 0; i < window; ++i) {
     const auto next = net.SuccessorOf(current);
     if (!next.has_value()) break;
-    span += ClockwiseDistance(net.peer(current).key, net.peer(*next).key);
+    span += ClockwiseDistance(net.key(current), net.key(*next));
     current = *next;
   }
   if (span == 0) return static_cast<double>(alive);

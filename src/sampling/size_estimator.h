@@ -8,7 +8,7 @@
 #include <memory>
 #include <string>
 
-#include "core/network.h"
+#include "core/network_view.h"
 #include "core/rng.h"
 
 namespace oscar {
@@ -18,7 +18,7 @@ class SizeEstimator {
   virtual ~SizeEstimator() = default;
   /// Estimated number of alive peers, as seen from `origin`. Returns at
   /// least 1.
-  virtual double Estimate(const Network& net, PeerId origin,
+  virtual double Estimate(NetworkView net, PeerId origin,
                           Rng* rng) const = 0;
   virtual std::string name() const = 0;
 };
@@ -28,7 +28,7 @@ using SizeEstimatorPtr = std::shared_ptr<const SizeEstimator>;
 /// Ground truth (the paper's baseline assumption).
 class OracleSizeEstimator : public SizeEstimator {
  public:
-  double Estimate(const Network& net, PeerId origin,
+  double Estimate(NetworkView net, PeerId origin,
                   Rng* rng) const override;
   std::string name() const override { return "oracle"; }
 };
@@ -39,7 +39,7 @@ class OracleSizeEstimator : public SizeEstimator {
 class GapSizeEstimator : public SizeEstimator {
  public:
   explicit GapSizeEstimator(uint32_t window) : window_(window) {}
-  double Estimate(const Network& net, PeerId origin,
+  double Estimate(NetworkView net, PeerId origin,
                   Rng* rng) const override;
   std::string name() const override;
 

@@ -32,6 +32,7 @@ void MessageSim::Admit(uint64_t id) {
   if (active_ >= options_.max_in_flight) {
     backlog_.push_back(id);
     Trace("lookup=", id, " backlogged");
+    Csv("backlog", id, outcomes_[id].source, kNoPeer, 0);
     return;
   }
   Activate(id);
@@ -44,6 +45,7 @@ void MessageSim::Activate(uint64_t id) {
   lookup.stepper = std::move(MakeRouteStepper(options_.router)).value();
   lookup.stepper->Start(*net_, outcomes_[id].source, outcomes_[id].target);
   Trace("lookup=", id, " start src=", outcomes_[id].source);
+  Csv("start", id, outcomes_[id].source, kNoPeer, 0);
   if (lookup.stepper->done()) {  // Dead source or empty ring.
     Finish(id);
     return;
@@ -69,8 +71,33 @@ void MessageSim::EnqueueAt(uint64_t id, PeerId peer) {
 
 void MessageSim::BeginService(PeerId peer) {
   peer_state(peer).busy = true;
-  engine_->ScheduleAfter(options_.service_ms,
+  engine_->ScheduleAfter(ServiceMsFor(peer),
                          [this, peer] { EndService(peer); });
+}
+
+double MessageSim::ServiceMsFor(PeerId peer) const {
+  if (options_.slow_fraction <= 0.0) return options_.service_ms;
+  // Splitmix64 of the ring key: slow membership is a stable property of
+  // the peer, consumes no rng draws, and survives churn joins.
+  uint64_t z = net_->peer(peer).key.raw + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < options_.slow_fraction
+             ? options_.service_ms * options_.slow_multiplier
+             : options_.service_ms;
+}
+
+void MessageSim::Csv(const char* event, uint64_t id, int64_t a, int64_t b,
+                     uint64_t info) {
+  if (options_.trace_csv == nullptr) return;
+  std::ostream& out = *options_.trace_csv;
+  out << FormatDouble(engine_->now(), 3) << ',' << event << ',' << id << ',';
+  if (a >= 0) out << a;
+  out << ',';
+  if (b >= 0) out << b;
+  out << ',' << info << '\n';
 }
 
 void MessageSim::EndService(PeerId peer) {
@@ -83,6 +110,7 @@ void MessageSim::EndService(PeerId peer) {
     // The peer crashed with this message aboard. Nobody answers; the
     // upstream peer notices through its ack timeout.
     Trace("lookup=", id, " stranded at dead peer=", peer);
+    Csv("stranded", id, peer, kNoPeer, 0);
     engine_->ScheduleAfter(options_.timeout_ms,
                            [this, id] { HandleTimeout(id); });
     return;
@@ -123,6 +151,8 @@ void MessageSim::ProcessAt(uint64_t id, PeerId peer) {
       Trace("lookup=", id,
             step.kind == StepKind::kForward ? " fwd " : " back ", peer, "->",
             step.to, " probes=", step.dead_probes);
+      Csv(step.kind == StepKind::kForward ? "fwd" : "back", id, peer,
+          step.to, step.dead_probes);
       Transmit(id, peer, step.to, probe_ms);
       return;
     }
@@ -147,6 +177,7 @@ void MessageSim::SendPending(uint64_t id, double extra_delay_ms) {
   if (lost) {
     ++lost_messages_;
     Trace("lookup=", id, " lost ->", to);
+    Csv("lost", id, lookup.pending_from, to, 0);
     engine_->ScheduleAfter(extra_delay_ms + options_.timeout_ms,
                            [this, id] { HandleTimeout(id); });
     return;
@@ -183,6 +214,7 @@ void MessageSim::HandleTimeout(uint64_t id) {
     }
     Trace("lookup=", id, " timeout dead=", lookup.pending_dest, " resume=",
           stepper.current());
+    Csv("timeout_dead", id, lookup.pending_dest, stepper.current(), 0);
     const PeerId resume = stepper.current();
     if (resume == lookup.pending_from) {
       // A failed forward: the query never left its sender, which now
@@ -199,6 +231,8 @@ void MessageSim::HandleTimeout(uint64_t id) {
   // the per-hop retry budget runs out.
   if (lookup.hop_attempts >= options_.max_retries) {
     Trace("lookup=", id, " retries exhausted ->", lookup.pending_dest);
+    Csv("drop", id, lookup.pending_from, lookup.pending_dest,
+        lookup.hop_attempts);
     stepper.Abandon(*net_);
     Finish(id);
     return;
@@ -208,6 +242,8 @@ void MessageSim::HandleTimeout(uint64_t id) {
   ++outcomes_[id].retries;
   Trace("lookup=", id, " retry#", lookup.hop_attempts, " ->",
         lookup.pending_dest);
+  Csv("retry", id, lookup.pending_from, lookup.pending_dest,
+      lookup.hop_attempts);
   SendPending(id, 0.0);
 }
 
@@ -225,6 +261,8 @@ void MessageSim::Finish(uint64_t id) {
   --active_;
   Trace("lookup=", id, outcome.success ? " done" : " failed", " hops=",
         outcome.hops, " wasted=", outcome.wasted);
+  Csv(outcome.success ? "done" : "failed", id, outcome.source, kNoPeer,
+      outcome.hops);
   if (!backlog_.empty()) {
     const uint64_t next = backlog_.front();
     backlog_.pop_front();

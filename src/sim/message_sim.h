@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,12 @@ struct MessageSimOptions {
   /// Time a peer spends forwarding one message; queueing delay emerges
   /// when messages arrive faster than 1/service_ms.
   double service_ms = 0.1;
+  /// Heterogeneous service rates: this fraction of peers serve every
+  /// message `slow_multiplier` times slower. Membership is a pure
+  /// function of the peer's ring key (no rng draws, stable across
+  /// joins), so enabling it does not perturb any other random stream.
+  double slow_fraction = 0.0;
+  double slow_multiplier = 5.0;
   /// Ack timeout: how long a sender waits before declaring a
   /// transmission failed (lost or sent to a crashed peer).
   double timeout_ms = 500.0;
@@ -57,7 +64,13 @@ struct MessageSimOptions {
   /// wait in an admission backlog (their wait counts toward latency).
   size_t max_in_flight = 64;
   /// Optional deterministic event-trace sink (lines are appended).
+  /// Kept in-memory for the determinism test; paper-scale runs should
+  /// stream to `trace_csv` instead.
   std::string* trace = nullptr;
+  /// Optional streaming CSV sink (`t_ms,event,lookup,peer,to,info`
+  /// rows, one per trace event): rows are written as events fire, so a
+  /// long run is analyzable without holding its trace in RAM.
+  std::ostream* trace_csv = nullptr;
 };
 
 /// Per-lookup record, final once `finished`.
@@ -140,8 +153,16 @@ class MessageSim {
     options_.trace->append(StrCat("t=", FormatDouble(engine_->now(), 3), " ",
                                   args..., "\n"));
   }
+  /// Writes one structured `t_ms,event,lookup,peer,to,info` row to the
+  /// CSV sink, if any. Pass kNoPeer for an absent peer/to column (it is
+  /// emitted empty — 0 is a real peer id).
+  static constexpr int64_t kNoPeer = -1;
+  void Csv(const char* event, uint64_t id, int64_t a, int64_t b,
+           uint64_t info);
   void SendPending(uint64_t id, double extra_delay_ms);
   double HopDelayMs(PeerId to) const;
+  /// Per-message service time of `peer` (slow peers pay the multiplier).
+  double ServiceMsFor(PeerId peer) const;
   PeerState& peer_state(PeerId peer);
 
   EventEngine* engine_;

@@ -45,38 +45,40 @@ class ZipfHotKeys : public KeyDistribution {
   std::vector<double> cumulative_;
 };
 
-/// Grows the scenario's network deterministically from options.seed.
-/// The returned Simulation owns the network plus the overlay and
-/// distributions churn handlers keep borrowing.
-Result<std::unique_ptr<Simulation>> GrowNetwork(
-    const ScenarioOptions& options) {
-  auto keys = MakeKeyDistribution(options.keys);
+}  // namespace
+
+Result<GrownTopology> GrowScenarioTopology(const ScenarioOptions& base) {
+  auto keys = MakeKeyDistribution(base.keys);
   if (!keys.ok()) return keys.status();
-  auto degrees = MakePaperDegreeDistribution(options.degrees);
+  auto degrees = MakePaperDegreeDistribution(base.degrees);
   if (!degrees.ok()) return degrees.status();
-  auto factory = MakeNamedOverlay(options.overlay);
+  auto factory = MakeNamedOverlay(base.overlay);
   if (!factory.ok()) return factory.status();
 
   GrowthConfig config;
-  config.target_size = options.network_size;
+  config.target_size = base.network_size;
   config.queries_per_checkpoint = 0;  // Structure only; no sync queries.
-  config.seed = options.seed;
-  config.checkpoints = {options.network_size};
+  config.seed = base.seed;
+  config.checkpoints = {base.network_size};
   config.key_distribution = keys.value();
   config.degree_distribution = degrees.value();
   config.overlay = factory.value()();
-  auto growth = std::make_unique<Simulation>(std::move(config));
-  auto grown = growth->Run();
+  Simulation growth(std::move(config));
+  auto grown = growth.Run();
   if (!grown.ok()) return grown.status();
-  return growth;
-}
 
-}  // namespace
+  GrownTopology topology;
+  topology.snapshot = TopologySnapshot(growth.network());
+  topology.overlay = growth.config().overlay;
+  topology.keys = growth.config().key_distribution;
+  topology.degrees = growth.config().degree_distribution;
+  return topology;
+}
 
 const std::vector<std::string>& ScenarioCatalog() {
   static const std::vector<std::string> kCatalog = {
-      "baseline",       "flash-crowd", "rolling-churn",
-      "regional-crash", "message-loss",
+      "baseline",     "flash-crowd", "rolling-churn",
+      "regional-crash", "message-loss", "slow-peers",
   };
   return kCatalog;
 }
@@ -120,27 +122,45 @@ Result<ScenarioOptions> MakeScenarioOptions(const std::string& name,
     base.sim.max_retries = 3;
     return base;
   }
+  if (name == "slow-peers") {
+    // Heterogeneous service rates: a tenth of the peers (picked by a
+    // stable key hash) forward every message 50x slower. Lookups that
+    // route through them inherit the degraded service time (plus the
+    // queue that builds behind it), inflating the latency tail while
+    // the median barely moves.
+    base.sim.service_ms = 2.0;
+    base.sim.slow_fraction = 0.1;
+    base.sim.slow_multiplier = 50.0;
+    return base;
+  }
   return Status::Error(StrCat("unknown scenario: '", name,
                               "' (see ScenarioCatalog)"));
 }
 
 Result<ScenarioResult> RunScenario(const std::string& name,
                                    const ScenarioOptions& base) {
+  auto resolved = MakeScenarioOptions(name, base);  // Fail fast on names.
+  if (!resolved.ok()) return resolved.status();
+  auto grown = GrowScenarioTopology(base);
+  if (!grown.ok()) return grown.status();
+  return RunScenarioOn(name, base, grown.value());
+}
+
+Result<ScenarioResult> RunScenarioOn(const std::string& name,
+                                     const ScenarioOptions& base,
+                                     const GrownTopology& grown) {
   auto resolved = MakeScenarioOptions(name, base);
   if (!resolved.ok()) return resolved.status();
   const ScenarioOptions& options = resolved.value();
   if (auto probe = MakeRouteStepper(options.sim.router); !probe.ok()) {
     return probe.status();
   }
-  auto grown = GrowNetwork(options);
-  if (!grown.ok()) return grown.status();
-  const Simulation& growth = *grown.value();
 
-  Network net = growth.network();  // Mutable copy: churn happens here.
-  const OverlayPtr overlay = growth.config().overlay;
-  const KeyDistributionPtr peer_keys = growth.config().key_distribution;
-  const DegreeDistributionPtr peer_degrees =
-      growth.config().degree_distribution;
+  // Mutable restore of the shared frozen topology: churn happens here.
+  Network net = grown.snapshot.Restore();
+  const OverlayPtr overlay = grown.overlay;
+  const KeyDistributionPtr peer_keys = grown.keys;
+  const DegreeDistributionPtr peer_degrees = grown.degrees;
 
   // A scenario-private stream, decoupled from the growth stream so the
   // same network can host different workloads comparably.
@@ -216,13 +236,16 @@ Result<ScenarioResult> RunScenario(const std::string& name,
 }
 
 Result<size_t> CrossCheckMessageVsSync(const ScenarioOptions& base) {
-  auto grown = GrowNetwork(base);
+  auto grown = GrowScenarioTopology(base);
   if (!grown.ok()) return grown.status();
-  const Simulation& growth = *grown.value();
+  return CrossCheckMessageVsSync(base, grown.value());
+}
 
+Result<size_t> CrossCheckMessageVsSync(const ScenarioOptions& base,
+                                       const GrownTopology& grown) {
   // Crash a slice so dead probes and backtracking are part of the
   // comparison, not just clean greedy descent.
-  Network net = growth.network();
+  Network net = grown.snapshot.Restore();
   Rng crash_rng(base.seed ^ 0x517cc1b727220a95ULL);
   auto crashed = CrashFraction(&net, 0.15, &crash_rng);
   if (!crashed.ok()) return crashed.status();
@@ -230,7 +253,7 @@ Result<size_t> CrossCheckMessageVsSync(const ScenarioOptions& base) {
   // Synchronous side: per-query routes recorded via the observer.
   SearchOptions search;
   search.num_queries = base.lookups;
-  search.query_distribution = growth.config().key_distribution.get();
+  search.query_distribution = grown.keys.get();
   struct PerQuery {
     uint32_t hops;
     uint32_t wasted;

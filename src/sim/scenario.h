@@ -13,6 +13,9 @@
 
 #include "churn/churn.h"
 #include "common/status.h"
+#include "core/topology_snapshot.h"
+#include "keyspace/key_distribution.h"
+#include "overlay/overlay.h"
 #include "sim/message_sim.h"
 
 namespace oscar {
@@ -60,20 +63,47 @@ const std::vector<std::string>& ScenarioCatalog();
 
 /// Applies the named scenario's deltas on top of `base` (which carries
 /// the scale, seed and sim knobs the caller resolved from env/flags).
+/// No scenario changes the growth parameters (size/seed/overlay/keys/
+/// degrees), so one grown topology serves the whole catalog.
 Result<ScenarioOptions> MakeScenarioOptions(const std::string& name,
                                             ScenarioOptions base);
 
-/// Grows the network deterministically from options.seed and runs the
-/// named scenario's workload on the event engine.
+/// A network grown once and frozen, plus the strategy objects churn
+/// handlers keep borrowing: the reusable input every scenario replay
+/// restores its private mutable copy from.
+struct GrownTopology {
+  TopologySnapshot snapshot;
+  OverlayPtr overlay;
+  KeyDistributionPtr keys;
+  DegreeDistributionPtr degrees;
+};
+
+/// Grows the network deterministically from base.seed and freezes it.
+/// Growth depends only on the base options, never on a scenario's
+/// deltas — the grow-once contract `oscar_sim --scenarios` relies on.
+Result<GrownTopology> GrowScenarioTopology(const ScenarioOptions& base);
+
+/// Runs the named scenario's workload against a restore of `grown`,
+/// leaving the snapshot untouched for the next scenario.
+Result<ScenarioResult> RunScenarioOn(const std::string& name,
+                                     const ScenarioOptions& base,
+                                     const GrownTopology& grown);
+
+/// Convenience: GrowScenarioTopology + RunScenarioOn for one-off runs.
 Result<ScenarioResult> RunScenario(const std::string& name,
                                    const ScenarioOptions& base);
 
-/// Equivalence gate between the two engines: grows a network from
-/// `base`, crashes a fraction of it, routes the same query stream once
-/// through the synchronous EvaluateSearch and once through MessageSim
-/// in zero-latency single-lookup mode, and requires per-query hops,
-/// wasted messages and success to match exactly. Returns the number of
-/// queries compared, or an error naming the first mismatch.
+/// Equivalence gate between the two engines: restores the grown
+/// network, crashes a fraction of it, routes the same query stream
+/// once through the synchronous EvaluateSearch and once through
+/// MessageSim in zero-latency single-lookup mode, and requires
+/// per-query hops, wasted messages and success to match exactly.
+/// Returns the number of queries compared, or an error naming the
+/// first mismatch.
+Result<size_t> CrossCheckMessageVsSync(const ScenarioOptions& base,
+                                       const GrownTopology& grown);
+
+/// Convenience: grows its own topology first.
 Result<size_t> CrossCheckMessageVsSync(const ScenarioOptions& base);
 
 }  // namespace oscar

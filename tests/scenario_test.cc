@@ -49,6 +49,52 @@ TEST(ScenarioTest, RollingChurnCrashesAndJoinsPeers) {
   EXPECT_GT(run.value().joined, 0u);
 }
 
+TEST(ScenarioTest, SlowPeersInflateTailLatency) {
+  // The control gets the same uniform service_ms the slow-peers
+  // scenario sets, but no slow cohort — so the assertions isolate the
+  // heterogeneity itself, not the higher base service time.
+  ScenarioOptions control = TinyScale();
+  control.sim.service_ms = 2.0;
+  auto baseline = RunScenario("baseline", control);
+  auto slow = RunScenario("slow-peers", TinyScale());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  ASSERT_EQ(slow.value().options.sim.service_ms, 2.0)
+      << "control drifted from the scenario's base service time";
+  // Shape check: a 10% population of 50x-slower peers inflates the
+  // latency tail — lookups routed through a slow peer inherit its
+  // service time — while routes themselves are unchanged.
+  EXPECT_GT(slow.value().report.latency.p95_ms,
+            baseline.value().report.latency.p95_ms * 1.05);
+  EXPECT_GT(slow.value().report.latency.mean_ms,
+            baseline.value().report.latency.mean_ms);
+  EXPECT_EQ(slow.value().report.mean_hops,
+            baseline.value().report.mean_hops);
+}
+
+TEST(ScenarioTest, SharedGrownTopologyReplaysLikeFreshGrowth) {
+  const ScenarioOptions base = TinyScale();
+  auto grown = GrowScenarioTopology(base);
+  ASSERT_TRUE(grown.ok()) << grown.status();
+  for (const std::string name : {"baseline", "rolling-churn"}) {
+    auto fresh = RunScenario(name, base);
+    auto replay = RunScenarioOn(name, base, grown.value());
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    ASSERT_TRUE(replay.ok()) << replay.status();
+    // Restoring the shared snapshot must reproduce the regrown run
+    // exactly, including the churn that mutates the restored copy.
+    EXPECT_EQ(fresh.value().report.messages_sent,
+              replay.value().report.messages_sent) << name;
+    EXPECT_EQ(fresh.value().report.succeeded,
+              replay.value().report.succeeded) << name;
+    EXPECT_EQ(fresh.value().report.latency.p95_ms,
+              replay.value().report.latency.p95_ms) << name;
+    EXPECT_EQ(fresh.value().crashed, replay.value().crashed) << name;
+    EXPECT_EQ(fresh.value().events_dispatched,
+              replay.value().events_dispatched) << name;
+  }
+}
+
 TEST(ScenarioTest, MessageLossTriggersRetries) {
   auto run = RunScenario("message-loss", TinyScale());
   ASSERT_TRUE(run.ok()) << run.status();

@@ -1,0 +1,155 @@
+// TopologySnapshot / NetworkView equivalence: a frozen snapshot must
+// answer every read query exactly like the live Network it froze, a
+// Restore() must be structurally indistinguishable from the original,
+// and whole routes driven over a snapshot view must match routes over
+// the live network hop for hop (seeds 42-45) — the contract that lets
+// churn experiments and scenario replays swap deep copies for
+// snapshot restores without moving a single harness byte.
+
+#include <gtest/gtest.h>
+
+#include "churn/churn.h"
+#include "core/network_view.h"
+#include "core/topology_snapshot.h"
+#include "overlay/kleinberg/kleinberg_overlay.h"
+#include "routing/backtracking_router.h"
+#include "routing/greedy_router.h"
+
+namespace oscar {
+namespace {
+
+Network LinkedNetwork(size_t n, uint64_t seed) {
+  Network net;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{8, 8});
+  }
+  KleinbergOverlay overlay;
+  for (PeerId id : net.AlivePeers()) {
+    EXPECT_TRUE(overlay.BuildLinks(&net, id, &rng).ok());
+  }
+  return net;
+}
+
+std::vector<PeerId> ToVector(PeerSpan span) {
+  return std::vector<PeerId>(span.begin(), span.end());
+}
+
+/// Every read the view exposes, compared between the two backends.
+void ExpectViewsAgree(const Network& net, const TopologySnapshot& snap) {
+  const NetworkView live(net);
+  const NetworkView frozen(snap);
+  ASSERT_EQ(live.size(), frozen.size());
+  ASSERT_EQ(live.alive_count(), frozen.alive_count());
+  EXPECT_EQ(live.AlivePeers(), frozen.AlivePeers());
+  for (PeerId id = 0; id < net.size(); ++id) {
+    EXPECT_EQ(live.key(id), frozen.key(id)) << "peer " << id;
+    EXPECT_EQ(live.alive(id), frozen.alive(id)) << "peer " << id;
+    EXPECT_EQ(live.caps(id).max_in, frozen.caps(id).max_in) << "peer " << id;
+    EXPECT_EQ(live.caps(id).max_out, frozen.caps(id).max_out)
+        << "peer " << id;
+    EXPECT_EQ(live.SuccessorOf(id), frozen.SuccessorOf(id)) << "peer " << id;
+    EXPECT_EQ(live.PredecessorOf(id), frozen.PredecessorOf(id))
+        << "peer " << id;
+    EXPECT_EQ(ToVector(live.OutLinks(id)), ToVector(frozen.OutLinks(id)))
+        << "peer " << id;
+    EXPECT_EQ(ToVector(live.InLinks(id)), ToVector(frozen.InLinks(id)))
+        << "peer " << id;
+    std::vector<PeerId> live_neighbors, frozen_neighbors;
+    live.AppendNeighbors(id, &live_neighbors);
+    frozen.AppendNeighbors(id, &frozen_neighbors);
+    EXPECT_EQ(live_neighbors, frozen_neighbors) << "peer " << id;
+    std::vector<PeerId> live_walk, frozen_walk;
+    live.AppendWalkNeighbors(id, &live_walk);
+    frozen.AppendWalkNeighbors(id, &frozen_walk);
+    EXPECT_EQ(live_walk, frozen_walk) << "peer " << id;
+  }
+  // Ring queries: ownership and clockwise order statistics.
+  for (int i = 0; i < 64; ++i) {
+    const KeyId probe = KeyId::FromUnit(i / 64.0);
+    const KeyId to = KeyId::FromUnit(i / 64.0 + 0.3);
+    EXPECT_EQ(live.OwnerOf(probe), frozen.OwnerOf(probe));
+    EXPECT_EQ(live.ring().CountInSegment(probe, to),
+              frozen.ring().CountInSegment(probe, to));
+    EXPECT_EQ(live.ring().NthInSegment(probe, to, 3),
+              frozen.ring().NthInSegment(probe, to, 3));
+    EXPECT_EQ(live.ring().SuccessorOfKey(probe),
+              frozen.ring().SuccessorOfKey(probe));
+  }
+}
+
+TEST(TopologySnapshotTest, ViewOverSnapshotMatchesIntactNetwork) {
+  const Network net = LinkedNetwork(300, 42);
+  ExpectViewsAgree(net, TopologySnapshot(net));
+}
+
+TEST(TopologySnapshotTest, ViewOverSnapshotMatchesCrashedNetwork) {
+  Network net = LinkedNetwork(300, 42);
+  // Crashes leave dangling out-links to dead peers; the snapshot must
+  // preserve them (routers discover them as dead probes).
+  Rng rng(7);
+  ASSERT_TRUE(CrashFraction(&net, 0.25, &rng).ok());
+  ExpectViewsAgree(net, TopologySnapshot(net));
+}
+
+TEST(TopologySnapshotTest, RestoreIsStructurallyIdentical) {
+  Network net = LinkedNetwork(250, 43);
+  Rng rng(9);
+  ASSERT_TRUE(CrashFraction(&net, 0.1, &rng).ok());
+  const TopologySnapshot snap(net);
+  Network restored = snap.Restore();
+  ASSERT_EQ(net.size(), restored.size());
+  ASSERT_EQ(net.alive_count(), restored.alive_count());
+  for (PeerId id = 0; id < net.size(); ++id) {
+    const Peer& a = net.peer(id);
+    const Peer& b = restored.peer(id);
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.caps.max_in, b.caps.max_in);
+    EXPECT_EQ(a.caps.max_out, b.caps.max_out);
+    EXPECT_EQ(a.alive, b.alive);
+    EXPECT_EQ(a.long_out, b.long_out);
+    EXPECT_EQ(a.long_in_peers, b.long_in_peers);
+    EXPECT_EQ(a.long_in, b.long_in);
+  }
+  // The restored network mutates independently of the frozen source:
+  // crashing it must not disturb the snapshot or a second restore.
+  const PeerId victim = restored.AlivePeers().front();
+  restored.Crash(victim);
+  EXPECT_TRUE(snap.alive(victim));
+  EXPECT_TRUE(snap.Restore().peer(victim).alive);
+}
+
+TEST(TopologySnapshotTest, RouteOverSnapshotMatchesLiveNetwork) {
+  const GreedyRouter greedy;
+  const BacktrackingRouter backtracking;
+  for (uint64_t seed = 42; seed <= 45; ++seed) {
+    Network net = LinkedNetwork(300, seed);
+    Rng crash_rng(seed ^ 0xabcdef12345ULL);
+    ASSERT_TRUE(CrashFraction(&net, 0.15, &crash_rng).ok());
+    const TopologySnapshot snap(net);
+    Rng query_rng(seed * 1000003);
+    const std::vector<PeerId> alive = net.AlivePeers();
+    for (int q = 0; q < 200; ++q) {
+      const PeerId source =
+          alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+      const KeyId target = KeyId::FromUnit(query_rng.NextDouble());
+      for (const Router* router :
+           {static_cast<const Router*>(&greedy),
+            static_cast<const Router*>(&backtracking)}) {
+        const RouteResult live = router->Route(net, source, target);
+        const RouteResult frozen = router->Route(snap, source, target);
+        ASSERT_EQ(live.success, frozen.success)
+            << router->name() << " seed " << seed << " query " << q;
+        ASSERT_EQ(live.hops, frozen.hops)
+            << router->name() << " seed " << seed << " query " << q;
+        ASSERT_EQ(live.wasted, frozen.wasted)
+            << router->name() << " seed " << seed << " query " << q;
+        ASSERT_EQ(live.path, frozen.path)
+            << router->name() << " seed " << seed << " query " << q;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oscar

@@ -1,21 +1,31 @@
 // Scenario runner for the discrete-event message-level simulator.
 //
-//   oscar_sim                  run every cataloged scenario
-//   oscar_sim flash-crowd ...  run the named scenario(s)
-//   oscar_sim --list           print the catalog
-//   oscar_sim --cross-check    verify the message engine reproduces the
-//                              synchronous engine's per-query hop counts
-//                              (zero latency, one lookup in flight)
+//   oscar_sim                     run every cataloged scenario
+//   oscar_sim flash-crowd ...     run the named scenario(s)
+//   oscar_sim --scenarios a,b,c   same, comma-separated
+//   oscar_sim --list              print the catalog
+//   oscar_sim --trace-file F.csv  stream the event trace as CSV rows
+//   oscar_sim --cross-check       verify the message engine reproduces
+//                                 the synchronous engine's per-query hop
+//                                 counts (zero latency, one in flight)
+//
+// The network is grown ONCE per (seed, size, overlay) and frozen as a
+// TopologySnapshot; every requested scenario replays against a cheap
+// restore of that snapshot instead of regrowing. The grow-vs-run wall
+// time split is reported on stderr (stdout stays byte-identical across
+// runs with identical knobs; only stderr carries timing).
 //
 // Scale and seed come from the same environment knobs the bench
 // harnesses use (see ScaleFromEnv): OSCAR_BENCH_SCALE=small|paper,
 // OSCAR_BENCH_SIZE, OSCAR_BENCH_QUERIES (lookups), OSCAR_BENCH_SEED.
 // Output follows the harness conventions — `#`-prefixed banner, aligned
-// tables — and is byte-identical across runs with identical knobs.
+// tables.
 //
 // Exit codes: 0 on success, 1 on a failed cross-check, 2 on an
 // infrastructure error (unknown scenario, experiment Status error).
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -38,17 +48,71 @@ void PrintBanner(const ExperimentScale& scale) {
             << "###############################################\n";
 }
 
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 int RunCli(const std::vector<std::string>& args) {
   bool list = false;
   bool cross_check = false;
+  std::string trace_path;
   std::vector<std::string> names;
-  for (const std::string& arg : args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     if (arg == "--list") {
       list = true;
     } else if (arg == "--cross-check") {
       cross_check = true;
+    } else if (arg == "--scenarios" || arg.rfind("--scenarios=", 0) == 0) {
+      std::string raw_list;
+      if (arg == "--scenarios") {
+        if (i + 1 >= args.size()) {
+          std::cerr << "oscar_sim: --scenarios requires a comma-separated "
+                       "list\n";
+          return 2;
+        }
+        raw_list = args[++i];
+      } else {
+        raw_list = arg.substr(sizeof("--scenarios=") - 1);
+      }
+      std::vector<std::string> parsed = SplitCommaList(raw_list);
+      if (parsed.empty()) {
+        std::cerr << "oscar_sim: --scenarios got an empty list\n";
+        return 2;
+      }
+      for (std::string& name : parsed) names.push_back(std::move(name));
+    } else if (arg == "--trace-file" || arg.rfind("--trace-file=", 0) == 0) {
+      if (arg == "--trace-file") {
+        if (i + 1 >= args.size()) {
+          std::cerr << "oscar_sim: --trace-file requires a path\n";
+          return 2;
+        }
+        trace_path = args[++i];
+      } else {
+        trace_path = arg.substr(sizeof("--trace-file=") - 1);
+      }
+      if (trace_path.empty()) {
+        std::cerr << "oscar_sim: --trace-file requires a path\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: oscar_sim [--list] [--cross-check] "
+                   "[--scenarios a,b,c] [--trace-file out.csv] "
                    "[scenario ...]\nscenarios:";
       for (const std::string& name : ScenarioCatalog()) {
         std::cout << " " << name;
@@ -75,8 +139,39 @@ int RunCli(const std::vector<std::string>& args) {
 
   PrintBanner(scale);
 
+  if (!cross_check && names.empty()) names = ScenarioCatalog();
+
+  // Validate names before paying for growth.
+  for (const std::string& name : names) {
+    if (auto probe = MakeScenarioOptions(name, base); !probe.ok()) {
+      std::cerr << "oscar_sim: " << probe.status().message() << "\n";
+      return 2;
+    }
+  }
+
+  std::ofstream trace_file;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::cerr << "oscar_sim: cannot open trace file: " << trace_path
+                << "\n";
+      return 2;
+    }
+    trace_file << "t_ms,event,lookup,peer,to,info\n";
+  }
+
+  // One grow per (seed, size, overlay), shared by the cross-check and
+  // every scenario run (each replays a restore of the frozen snapshot).
+  const auto grow_start = std::chrono::steady_clock::now();
+  auto grown = GrowScenarioTopology(base);
+  if (!grown.ok()) {
+    std::cerr << "oscar_sim: grow: " << grown.status().message() << "\n";
+    return 2;
+  }
+  const double grow_s = SecondsSince(grow_start);
+
   if (cross_check) {
-    auto checked = CrossCheckMessageVsSync(base);
+    auto checked = CrossCheckMessageVsSync(base, grown.value());
     if (!checked.ok()) {
       std::cout << "# cross-check: message-level vs synchronous ... "
                 << "MISMATCH (" << checked.status().message() << ")\n";
@@ -87,14 +182,18 @@ int RunCli(const std::vector<std::string>& args) {
     if (names.empty()) return 0;
   }
 
-  if (names.empty()) names = ScenarioCatalog();
-
   TablePrinter table("scenario runs (message-level engine)");
   table.SetHeader({"scenario", "n", "lookups", "done", "ok%", "p50_ms",
                    "p95_ms", "hops", "wasted", "msgs", "timeout", "retry",
                    "peak_ifl", "load_p2m", "gini", "crash", "join"});
+  const auto run_start = std::chrono::steady_clock::now();
   for (const std::string& name : names) {
-    auto run = RunScenario(name, base);
+    ScenarioOptions options = base;
+    if (trace_file.is_open()) {
+      trace_file << "# scenario=" << name << "\n";
+      options.sim.trace_csv = &trace_file;
+    }
+    auto run = RunScenarioOn(name, options, grown.value());
     if (!run.ok()) {
       std::cerr << "oscar_sim: " << name << ": " << run.status().message()
                 << "\n";
@@ -122,7 +221,12 @@ int RunCli(const std::vector<std::string>& args) {
         StrCat(result.joined),
     });
   }
+  const double run_s = SecondsSince(run_start);
   table.Print(std::cout);
+  std::cerr << "# timing: grow=" << FormatDouble(grow_s, 2) << "s (1 grow, "
+            << names.size() << " scenario run"
+            << (names.size() == 1 ? "" : "s") << ") run="
+            << FormatDouble(run_s, 2) << "s\n";
   return 0;
 }
 
