@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Flag-parsing contract test for the oscar_sim CLI, run under ctest.
+#
+#   scripts/check_sim_cli.sh path/to/oscar_sim
+#
+# Every malformed invocation must exit 2 AND print the usage line on
+# stderr; the accepted corners (repeated --scenarios, --help) must keep
+# their documented behavior. Keeps the binary cheap to probe by pinning
+# a tiny scale (the rejections short-circuit before any growth anyway).
+
+set -u
+
+sim="${1:?usage: check_sim_cli.sh path/to/oscar_sim}"
+export OSCAR_BENCH_SIZE=32 OSCAR_BENCH_QUERIES=8
+
+fail=0
+
+# expect_reject <label> <args...>: exit must be 2, stderr must carry a
+# usage line.
+expect_reject() {
+  local label="$1"
+  shift
+  local err
+  err=$("${sim}" "$@" 2>&1 >/dev/null)
+  local status=$?
+  if [[ "${status}" -ne 2 ]]; then
+    echo "FAIL ${label}: exit=${status}, want 2 (args: $*)" >&2
+    fail=1
+  fi
+  if ! grep -q "^usage: oscar_sim" <<< "${err}"; then
+    echo "FAIL ${label}: no usage line on stderr (args: $*)" >&2
+    fail=1
+  fi
+}
+
+# expect_ok <label> <args...>: exit must be 0.
+expect_ok() {
+  local label="$1"
+  shift
+  if ! "${sim}" "$@" >/dev/null 2>&1; then
+    echo "FAIL ${label}: nonzero exit (args: $*)" >&2
+    fail=1
+  fi
+}
+
+expect_reject "empty --scenarios= value"        --scenarios=
+expect_reject "missing --scenarios value"       --scenarios
+expect_reject "comma-only --scenarios"          --scenarios=,,
+expect_reject "empty --trace-file= value"       --trace-file=
+expect_reject "missing --trace-file value"      --trace-file
+expect_reject "duplicate --trace-file"          --trace-file=a.csv --trace-file=b.csv
+expect_reject "unknown flag"                    --frobnicate
+expect_reject "unknown scenario"                no-such-scenario
+expect_reject "unknown scenario after valid"    baseline no-such-scenario
+expect_reject "unknown name in --scenarios"     --scenarios=baseline,no-such-scenario
+
+expect_ok "--help exits 0"  --help
+expect_ok "--list exits 0"  --list
+# Repeated --scenarios accumulate (documented behavior, like bare names).
+expect_ok "repeated --scenarios accumulate"  --scenarios=baseline --scenarios=message-loss
+
+if [[ "${fail}" -eq 0 ]]; then
+  echo "check_sim_cli: all flag-parsing corners OK"
+fi
+exit "${fail}"

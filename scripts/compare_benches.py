@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Diff two run_benches perf artifacts and flag wall-time regressions.
+
+    scripts/compare_benches.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Compares per-harness wall time (and micro_core benchmark times when
+both artifacts carry them) between two `oscar-bench-v1` JSON files
+written by scripts/run_benches.sh. A harness is flagged when its wall
+time grew by more than the threshold (default +10%). Exit codes:
+
+    0  no regressions over the threshold
+    1  at least one regression flagged
+    2  unusable input (missing file, wrong schema)
+
+CI runs this as a NON-FATAL report step (the committed repo-root
+artifact vs the fresh build's), so a noisy runner annotates the log
+instead of failing the build; locally it is a quick before/after probe:
+
+    OSCAR_BENCH_OUT=BENCH_before.json scripts/run_benches.sh build
+    ... make changes, rebuild ...
+    OSCAR_BENCH_OUT=BENCH_after.json scripts/run_benches.sh build
+    scripts/compare_benches.py build/BENCH_before.json build/BENCH_after.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"compare_benches: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "oscar-bench-v1":
+        print(f"compare_benches: {path}: unexpected schema "
+              f"{doc.get('schema')!r} (want 'oscar-bench-v1')",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def index_harnesses(doc):
+    return {row["name"]: row for row in doc.get("harnesses", [])}
+
+
+def index_micro(doc):
+    return {row["benchmark"]: row for row in doc.get("micro_core", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two run_benches perf artifacts.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="flag growth above this fraction "
+                             "(default 0.10 = +10%%)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+    if base.get("scale") != curr.get("scale") or \
+       base.get("seed") != curr.get("seed"):
+        print(f"compare_benches: note: comparing scale/seed "
+              f"{base.get('scale')}/{base.get('seed')} vs "
+              f"{curr.get('scale')}/{curr.get('seed')} — wall times may "
+              f"not be like for like")
+
+    regressions = []
+    print(f"{'harness':<28} {'base_s':>8} {'curr_s':>8} {'delta':>8}")
+    base_h, curr_h = index_harnesses(base), index_harnesses(curr)
+    for name, curr_row in curr_h.items():
+        base_row = base_h.get(name)
+        if base_row is None:
+            print(f"{name:<28} {'--':>8} {curr_row['wall_s']:>8.3f} "
+                  f"{'new':>8}")
+            continue
+        b, c = base_row["wall_s"], curr_row["wall_s"]
+        delta = (c - b) / b if b > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, b, c, delta))
+        print(f"{name:<28} {b:>8.3f} {c:>8.3f} {delta:>+7.1%}{marker}")
+    for name in sorted(set(base_h) - set(curr_h)):
+        print(f"{name:<28} {base_h[name]['wall_s']:>8.3f} {'--':>8} "
+              f"{'gone':>8}")
+
+    base_m, curr_m = index_micro(base), index_micro(curr)
+    shared = sorted(set(base_m) & set(curr_m))
+    if shared:
+        print(f"\n{'micro_core benchmark':<34} {'base':>10} {'curr':>10} "
+              f"{'delta':>8}")
+        for name in shared:
+            if base_m[name].get("unit") != curr_m[name].get("unit"):
+                continue  # stub vs real google-benchmark: not comparable
+            b, c = base_m[name]["time"], curr_m[name]["time"]
+            delta = (c - b) / b if b > 0 else 0.0
+            marker = ""
+            if delta > args.threshold:
+                marker = "  << REGRESSION"
+                regressions.append((name, b, c, delta))
+            print(f"{name:<34} {b:>10.1f} {c:>10.1f} {delta:>+7.1%}"
+                  f"{marker}")
+
+    if regressions:
+        print(f"\ncompare_benches: {len(regressions)} regression(s) over "
+              f"+{args.threshold:.0%}:", file=sys.stderr)
+        for name, b, c, delta in regressions:
+            print(f"  {name}: {b:.3f} -> {c:.3f} ({delta:+.1%})",
+                  file=sys.stderr)
+        return 1
+    print("\ncompare_benches: no wall-time regressions over "
+          f"+{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,14 +10,29 @@
 # knobs (OSCAR_BENCH_SCALE/SIZE/QUERIES/SEED) pass through to the
 # harnesses.
 #
-# Side effect: writes ${build_dir}/BENCH_pr3.json — per-harness wall
-# time plus micro_core benchmark numbers — the perf-trajectory artifact
-# CI uploads per run. The JSON is informational; the gate is still the
-# exit codes and VIOLATED grep.
+# Side effect: writes ${build_dir}/${OSCAR_BENCH_OUT} (default
+# BENCH_pr4.json) — per-harness wall time plus micro_core benchmark
+# numbers — the perf-trajectory artifact CI uploads per run — and
+# copies it to the repo root so the trajectory is comparable across
+# commits (scripts/compare_benches.py diffs two of them). The JSON is
+# informational; the gate is still the exit codes and VIOLATED grep.
 
 set -u
 
 build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Artifact name is parameterized so a PR can snapshot its own baseline
+# (e.g. OSCAR_BENCH_OUT=BENCH_mybranch.json) without clobbering the
+# committed one. A malformed name is an error, not a silent fallback —
+# falling back to the default would overwrite the committed baseline
+# and corrupt the A/B flow documented in compare_benches.py.
+artifact="${OSCAR_BENCH_OUT:-BENCH_pr4.json}"
+if [[ ! "${artifact}" =~ ^[A-Za-z0-9._-]+$ ]]; then
+  echo "run_benches: invalid OSCAR_BENCH_OUT '${artifact}'" \
+       "(want a bare file name, [A-Za-z0-9._-]+)" >&2
+  exit 1
+fi
 
 harnesses=(
   fig1a_degree_pdf
@@ -36,7 +51,7 @@ harnesses=(
   xtab_size_estimator
 )
 
-json="${build_dir}/BENCH_pr3.json"
+json="${build_dir}/${artifact}"
 json_rows=()
 
 fail=0
@@ -113,6 +128,12 @@ scale="${OSCAR_BENCH_SCALE:-small}"
   echo "  ]"
   echo "}"
 } > "${json}"
+
+# Mirror the artifact at the repo root (skip when the build dir IS the
+# root) so the perf trajectory lives next to the code it measures.
+if [[ "$(cd "${build_dir}" 2>/dev/null && pwd)" != "${repo_root}" ]]; then
+  cp "${json}" "${repo_root}/${artifact}"
+fi
 
 if [[ "${fail}" -eq 0 ]]; then
   echo "run_benches: all ${#harnesses[@]} harnesses passed (perf: ${json})"

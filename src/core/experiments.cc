@@ -144,12 +144,18 @@ Result<std::vector<SearchCostRow>> RunSearchCostVsSize(
       // 10% one) and replays the same query keys. The measured deltas
       // between churn levels are then structural, not sampling noise.
       const uint64_t eval_seed = rng->Next();
-      // Every churn level crashes its own restore of one shared
-      // frozen snapshot — the same snapshot-restore path the scenario
-      // replays use. A restore is structurally identical to a Network
-      // copy (guarded by topology_snapshot_test), which keeps these
-      // rows byte-identical to the historical deep-copy evaluation.
+      // One freeze serves every row: the 0% row routes straight over
+      // the frozen snapshot (the routers' CSR fast path; identical
+      // routes by the view-equivalence contract), and each churn level
+      // crashes a delta-restore of it — RestoreInto repairs only the
+      // peers the previous level's crashes touched, and CrashFraction
+      // batches its ring removals — then refreezes the crashed scratch
+      // so the evaluation itself also rides the CSR steppers. Every
+      // row stays byte-identical to the historical deep-copy
+      // evaluation (guarded by topology_snapshot_test and
+      // csr_stepper_test).
       std::optional<TopologySnapshot> frozen;
+      Network scratch;  // Recycled across churn levels via RestoreInto.
       for (const double churn : churn_fractions) {
         SearchCostRow row;
         row.series = degree_name;
@@ -161,18 +167,19 @@ Result<std::vector<SearchCostRow>> RunSearchCostVsSize(
         search.source_by_key = true;
         SearchEvaluation eval;
         Rng query_rng(eval_seed ^ 0x9e3779b97f4a7c15ULL);
+        if (!frozen.has_value()) frozen.emplace(net);
         if (churn == 0.0) {
           // Same router as the churn rows: on an intact network the
           // fault-aware DFS degenerates to pure nearest-first greedy
           // with zero waste, so the churn deltas compare like to like.
-          eval = EvaluateSearch(net, BacktrackingRouter(), search,
+          eval = EvaluateSearch(*frozen, BacktrackingRouter(), search,
                                 &query_rng);
         } else {
-          if (!frozen.has_value()) frozen.emplace(net);
-          Network crashed = frozen->Restore();  // Crash it, keep growing.
+          frozen->RestoreInto(&scratch);  // Crash it, keep growing.
           Rng crash_rng(eval_seed);
-          auto crash_result = CrashFraction(&crashed, churn, &crash_rng);
+          auto crash_result = CrashFraction(&scratch, churn, &crash_rng);
           if (!crash_result.ok()) return crash_result.status();
+          const TopologySnapshot crashed(scratch);
           eval = EvaluateSearch(crashed, BacktrackingRouter(), search,
                                 &query_rng);
         }

@@ -11,6 +11,7 @@ PeerId Network::Join(KeyId key, DegreeCaps caps) {
   peer.caps = caps;
   peers_.push_back(std::move(peer));
   ring_.Insert(key, id);
+  Touch(id);
   return id;
 }
 
@@ -22,6 +23,25 @@ void Network::Crash(PeerId id) {
   peer.long_in_peers.clear();
   peer.long_in = 0;
   ring_.Remove(peer.key, id);
+  Touch(id);
+}
+
+void Network::CrashMany(const std::vector<PeerId>& victims) {
+  size_t newly_dead = 0;
+  for (PeerId id : victims) {
+    Peer& peer = peers_[id];
+    if (!peer.alive) continue;
+    ClearLongLinks(id);
+    peer.alive = false;
+    peer.long_in_peers.clear();
+    peer.long_in = 0;
+    Touch(id);
+    ++newly_dead;
+  }
+  if (newly_dead == 0) return;
+  // After the liveness flips above, the only dead ids still on the ring
+  // are exactly the victims: drop them in one pass.
+  ring_.RemoveIdsIf([this](PeerId id) { return !peers_[id].alive; });
 }
 
 std::vector<PeerId> Network::AlivePeers() const {
@@ -63,6 +83,8 @@ bool Network::AddLongLink(PeerId from, PeerId to) {
   src.long_out.push_back(to);
   dst.long_in_peers.push_back(from);
   ++dst.long_in;
+  Touch(from);
+  Touch(to);
   return true;
 }
 
@@ -76,9 +98,11 @@ void Network::ClearLongLinks(PeerId id) {
     if (it != dst.long_in_peers.end()) {
       dst.long_in_peers.erase(it);
       --dst.long_in;
+      Touch(target);
     }
   }
   peer.long_out.clear();
+  Touch(id);
 }
 
 size_t Network::PruneDeadLinks(PeerId id) {
@@ -88,6 +112,7 @@ size_t Network::PruneDeadLinks(PeerId id) {
       std::remove_if(peer.long_out.begin(), peer.long_out.end(),
                      [&](PeerId t) { return !peers_[t].alive; }),
       peer.long_out.end());
+  if (before != peer.long_out.size()) Touch(id);
   return before - peer.long_out.size();
 }
 

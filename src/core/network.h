@@ -41,6 +41,14 @@ class Network {
   /// long_out lists — routers discover them as dead probes.
   void Crash(PeerId id);
 
+  /// Crashes every peer in `victims` (already-dead entries are skipped)
+  /// with per-victim link surgery but ONE ring filter pass, so a
+  /// churn-figure crash level costs O(victims * degree + ring) instead
+  /// of the O(victims * ring) that per-victim ring erases pay. The
+  /// resulting network is identical to calling Crash() on each victim
+  /// in order.
+  void CrashMany(const std::vector<PeerId>& victims);
+
   const Ring& ring() const { return ring_; }
   size_t alive_count() const { return ring_.size(); }
   size_t size() const { return peers_.size(); }
@@ -73,13 +81,37 @@ class Network {
  private:
   // TopologySnapshot::Restore() rebuilds the peer table and ring index
   // directly from its flat arrays (Join/AddLongLink cannot recreate
-  // dead peers or dangling links).
+  // dead peers or dangling links), and RestoreInto() drives the
+  // mutation journal below to repair only the peers touched since the
+  // last restore.
   friend class TopologySnapshot;
 
   std::optional<PeerId> RingNeighbor(PeerId id, bool clockwise) const;
 
+  /// Records `id` as structurally dirty relative to the snapshot this
+  /// network was last restored from. Every mutator calls it; it is a
+  /// no-op unless a RestoreInto() armed the journal. Once the journal
+  /// reaches N entries a delta restore has nothing left to win, so the
+  /// journal disarms (forcing the next RestoreInto to a full rebuild)
+  /// rather than growing with every further mutation.
+  void Touch(PeerId id) {
+    if (!journal_active_) return;
+    if (journal_.size() >= peers_.size()) {
+      journal_active_ = false;
+      journal_.clear();
+      return;
+    }
+    journal_.push_back(id);
+  }
+
   std::vector<Peer> peers_;
   Ring ring_;
+  // Delta-restore bookkeeping, managed by TopologySnapshot::RestoreInto:
+  // which snapshot this network is a restore of (0 = none) and which
+  // peers were mutated since.
+  uint64_t restore_token_ = 0;
+  bool journal_active_ = false;
+  std::vector<PeerId> journal_;
 };
 
 }  // namespace oscar

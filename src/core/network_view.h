@@ -32,6 +32,12 @@ class NetworkView {
   NetworkView(const Network& net) : net_(&net) {}           // NOLINT
   NetworkView(const TopologySnapshot& snap) : snap_(&snap) {}  // NOLINT
 
+  /// The frozen backend, or nullptr when this view reads a live
+  /// Network. Routers use it to swap in the CSR-specialized steppers —
+  /// a frozen snapshot cannot change mid-route, so the flat arrays can
+  /// be read without per-call dispatch.
+  const TopologySnapshot* snapshot() const { return snap_; }
+
   size_t size() const { return net_ ? net_->size() : snap_->size(); }
   size_t alive_count() const { return ring().size(); }
   const Ring& ring() const { return net_ ? net_->ring() : snap_->ring(); }

@@ -12,7 +12,7 @@
 
 namespace oscar {
 
-QuerySample SampleQuery(const Network& net, const SearchOptions& options,
+QuerySample SampleQuery(NetworkView net, const SearchOptions& options,
                         const std::vector<PeerId>& alive, Rng* rng) {
   QuerySample sample;
   if (options.source_by_key) {
@@ -27,7 +27,7 @@ QuerySample SampleQuery(const Network& net, const SearchOptions& options,
   return sample;
 }
 
-SearchEvaluation EvaluateSearch(const Network& net, const Router& router,
+SearchEvaluation EvaluateSearch(NetworkView net, const Router& router,
                                 const SearchOptions& options, Rng* rng) {
   SearchEvaluation eval;
   const std::vector<PeerId> alive = net.AlivePeers();

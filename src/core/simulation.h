@@ -44,7 +44,7 @@ struct QuerySample {
 /// order), so an external driver — the message-level simulator — can
 /// replay the identical query stream from the same seed. `alive` must
 /// be the network's current AlivePeers() list.
-QuerySample SampleQuery(const Network& net, const SearchOptions& options,
+QuerySample SampleQuery(NetworkView net, const SearchOptions& options,
                         const std::vector<PeerId>& alive, Rng* rng);
 
 struct SearchEvaluation {
@@ -56,7 +56,10 @@ struct SearchEvaluation {
 };
 
 /// Routes queries from random alive sources and aggregates costs.
-SearchEvaluation EvaluateSearch(const Network& net, const Router& router,
+/// Takes the topology through NetworkView: over a frozen snapshot the
+/// routers' CSR fast path engages automatically, which is how the
+/// churn figure evaluates its crash levels.
+SearchEvaluation EvaluateSearch(NetworkView net, const Router& router,
                                 const SearchOptions& options, Rng* rng);
 
 /// Factory for the named key distributions the harnesses sweep:

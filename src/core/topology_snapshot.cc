@@ -1,8 +1,35 @@
 #include "core/topology_snapshot.h"
 
-namespace oscar {
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 
-TopologySnapshot::TopologySnapshot(const Network& net) : ring_(net.ring()) {
+namespace oscar {
+namespace {
+
+/// CHECK-style guard for the 32-bit CSR offsets and ring positions: a
+/// build whose edge arrays (or ring) no longer fit must fail loudly
+/// instead of silently wrapping the casts and corrupting every row.
+void CheckFitsU32(size_t value, const char* what) {
+  if (value > static_cast<size_t>(UINT32_MAX)) {
+    std::fprintf(stderr,
+                 "TopologySnapshot: %s (%zu) exceeds the 32-bit CSR limit "
+                 "(%u); refusing to build a corrupt snapshot\n",
+                 what, value, UINT32_MAX);
+    std::abort();
+  }
+}
+
+uint64_t NextSnapshotToken() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
+
+TopologySnapshot::TopologySnapshot(const Network& net)
+    : ring_(net.ring()), token_(NextSnapshotToken()) {
   const size_t n = net.size();
   keys_.reserve(n);
   caps_.reserve(n);
@@ -14,6 +41,9 @@ TopologySnapshot::TopologySnapshot(const Network& net) : ring_(net.ring()) {
     total_out += net.peer(id).long_out.size();
     total_in += net.peer(id).long_in_peers.size();
   }
+  CheckFitsU32(total_out, "total out-edge count");
+  CheckFitsU32(total_in, "total in-edge count");
+  CheckFitsU32(ring_.size(), "ring size");
   out_edges_.reserve(total_out);
   in_edges_.reserve(total_in);
   out_offsets_.push_back(0);
@@ -48,10 +78,16 @@ std::optional<PeerId> TopologySnapshot::RingNeighbor(PeerId id,
 
 Network TopologySnapshot::Restore() const {
   Network net;
+  RestoreInto(&net);
+  return net;
+}
+
+void TopologySnapshot::RestoreInto(Network* net) const {
   const size_t n = size();
-  net.peers_.resize(n);
-  for (PeerId id = 0; id < n; ++id) {
-    Peer& peer = net.peers_[id];
+  // Repair one peer's row from the flat arrays; vector assign() reuses
+  // the row's existing capacity on a recycled network.
+  const auto repair = [&](PeerId id) {
+    Peer& peer = net->peers_[id];
     peer.key = keys_[id];
     peer.caps = caps_[id];
     peer.alive = alive(id);
@@ -60,9 +96,27 @@ Network TopologySnapshot::Restore() const {
     const PeerSpan in = InLinks(id);
     peer.long_in_peers.assign(in.begin(), in.end());
     peer.long_in = static_cast<uint32_t>(peer.long_in_peers.size());
+  };
+  const bool delta = token_ != 0 && net->restore_token_ == token_ &&
+                     net->journal_active_ && net->peers_.size() >= n &&
+                     net->journal_.size() < n;
+  if (delta) {
+    net->peers_.resize(n);  // Drop peers joined since the last restore.
+    std::sort(net->journal_.begin(), net->journal_.end());
+    net->journal_.erase(
+        std::unique(net->journal_.begin(), net->journal_.end()),
+        net->journal_.end());
+    for (PeerId id : net->journal_) {
+      if (id < n) repair(id);  // >= n: joined peers, already dropped.
+    }
+  } else {
+    net->peers_.resize(n);
+    for (PeerId id = 0; id < n; ++id) repair(id);
   }
-  net.ring_ = ring_;
-  return net;
+  net->ring_ = ring_;
+  net->restore_token_ = token_;
+  net->journal_active_ = true;
+  net->journal_.clear();
 }
 
 }  // namespace oscar

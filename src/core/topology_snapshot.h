@@ -39,6 +39,9 @@ class TopologySnapshot {
  public:
   TopologySnapshot() = default;
   /// Freezes `net` in one pass over its peer table and ring index.
+  /// Aborts loudly (CHECK-style, message on stderr) if the edge arrays
+  /// or ring would overflow the 32-bit CSR offsets — a >4B-edge build
+  /// must fail instead of silently corrupting the offsets.
   explicit TopologySnapshot(const Network& net);
 
   size_t size() const { return keys_.size(); }
@@ -78,6 +81,32 @@ class TopologySnapshot {
   /// the grown network once per crash level.
   Network Restore() const;
 
+  /// Restore() into a caller-owned Network, arming its mutation
+  /// journal. The first call (or a call on a network restored from a
+  /// different snapshot) is a full rebuild that reuses `net`'s existing
+  /// allocations; every later call repairs ONLY the peers mutated since
+  /// the previous restore — O(touched) instead of O(N) — plus one ring
+  /// copy. The result is always structurally identical to Restore()
+  /// (guarded by the delta-restore identity test); the journal is how
+  /// fig2's per-crash-level restores and oscar_sim's per-scenario
+  /// replays skip rebuilding the untouched bulk of the peer table.
+  void RestoreInto(Network* net) const;
+
+  // ---- CSR fast-path surface ----------------------------------------
+  // Raw flat arrays for snapshot-specialized route steppers: one load
+  // per field, no per-call backend dispatch. Valid while the snapshot
+  // is alive; indices are PeerIds < size().
+  static constexpr uint32_t kNotOnRing = UINT32_MAX;
+  const KeyId* keys_data() const { return keys_.data(); }
+  const DegreeCaps* caps_data() const { return caps_.data(); }
+  const uint8_t* alive_data() const { return alive_.data(); }
+  const uint32_t* out_offsets_data() const { return out_offsets_.data(); }
+  const PeerId* out_edges_data() const { return out_edges_.data(); }
+  /// Ring position of `id` (kNotOnRing when dead) — the O(1) index
+  /// behind SuccessorOf/PredecessorOf, exposed so steppers can walk the
+  /// ring without optional-wrapping each neighbor.
+  uint32_t ring_pos(PeerId id) const { return ring_pos_[id]; }
+
  private:
   std::optional<PeerId> RingNeighbor(PeerId id, bool clockwise) const;
 
@@ -90,9 +119,12 @@ class TopologySnapshot {
   std::vector<uint32_t> in_offsets_;
   std::vector<PeerId> in_edges_;
   // Position of each alive peer in ring order (kNotOnRing when dead).
-  static constexpr uint32_t kNotOnRing = UINT32_MAX;
   std::vector<uint32_t> ring_pos_;
   Ring ring_;
+  // Identity for delta restores: RestoreInto() only trusts a network's
+  // mutation journal when the network was last restored from a snapshot
+  // carrying this token (0 = default-constructed, never matches).
+  uint64_t token_ = 0;
 };
 
 }  // namespace oscar

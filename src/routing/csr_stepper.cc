@@ -1,0 +1,166 @@
+#include "routing/csr_stepper.h"
+
+#include <algorithm>
+
+#include "core/topology_snapshot.h"
+
+namespace oscar {
+namespace {
+
+/// Invokes fn(candidate) for every routing neighbor of `id` in exactly
+/// the order NetworkView::AppendNeighbors pushes them — ring successor,
+/// predecessor when distinct, then the CSR out-link row in stored
+/// order — without materializing the list. Dead ids carry kNotOnRing,
+/// so the ring-neighbor guard matches SuccessorOf/PredecessorOf.
+template <typename Fn>
+inline void ForEachNeighbor(const TopologySnapshot& snap, PeerId id,
+                            Fn&& fn) {
+  const Ring& ring = snap.ring();
+  const size_t rn = ring.size();
+  const uint32_t pos = snap.ring_pos(id);
+  if (rn >= 2 && pos != TopologySnapshot::kNotOnRing) {
+    const PeerId succ = ring.at((pos + 1) % rn).id;
+    const PeerId pred = ring.at((pos + rn - 1) % rn).id;
+    fn(succ);
+    if (pred != succ) fn(pred);
+  }
+  const uint32_t* offsets = snap.out_offsets_data();
+  const PeerId* edges = snap.out_edges_data();
+  for (uint32_t e = offsets[id]; e < offsets[id + 1]; ++e) fn(edges[e]);
+}
+
+}  // namespace
+
+RouteStep CsrGreedyStepper::Step(NetworkView net) {
+  const TopologySnapshot& snap = *net.snapshot();
+  const KeyId* keys = snap.keys_data();
+  const uint8_t* alive = snap.alive_data();
+  const DegreeCaps* caps = snap.caps_data();
+  RouteStep step;
+  step.from = current_;
+  const auto owner = snap.OwnerOf(target_);
+  if (owner.has_value() && current_ == *owner) {
+    result_.success = true;
+    result_.terminal = current_;
+    done_ = true;
+    step.kind = StepKind::kArrived;
+    return step;
+  }
+  const uint64_t here = RingDistance(keys[current_], target_);
+  bool moved = false;
+  PeerId best = current_;
+  uint64_t best_distance = here;
+  ForEachNeighbor(snap, current_, [&](PeerId candidate) {
+    if (!alive[candidate]) return;  // Dead probes charged lazily below.
+    const uint64_t d = RingDistance(keys[candidate], target_);
+    if (d < best_distance) {
+      best = candidate;
+      best_distance = d;
+      moved = true;
+    }
+  });
+  if (!moved) {  // No strict progress: substrate violation.
+    result_.terminal = current_;
+    result_.success = owner.has_value() && current_ == *owner;
+    done_ = true;
+    step.kind = StepKind::kStuck;
+    return step;
+  }
+  // Capacity-aware relaxation: any strictly-closer candidate within
+  // 50% of the best distance makes comparable progress; prefer the
+  // one with the largest declared in-budget.
+  const uint64_t band =
+      best_distance + best_distance / 2 < best_distance
+          ? UINT64_MAX
+          : best_distance + best_distance / 2;
+  ForEachNeighbor(snap, current_, [&](PeerId candidate) {
+    if (!alive[candidate] || candidate == best) return;
+    const uint64_t d = RingDistance(keys[candidate], target_);
+    if (d < here && d <= band && caps[candidate].max_in > caps[best].max_in) {
+      best = candidate;
+    }
+  });
+  best_distance = RingDistance(keys[best], target_);
+  // Charge probes for dead long links that looked strictly better than
+  // the hop we ended up taking (the peer would have tried them first).
+  ForEachNeighbor(snap, current_, [&](PeerId candidate) {
+    if (!alive[candidate] &&
+        RingDistance(keys[candidate], target_) < best_distance) {
+      ++result_.wasted;
+      ++step.dead_probes;
+    }
+  });
+  current_ = best;
+  ++result_.hops;
+  result_.path.push_back(current_);
+  result_.terminal = current_;
+  step.kind = StepKind::kForward;
+  step.to = best;
+  return step;
+}
+
+RouteStep CsrBacktrackingStepper::Step(NetworkView net) {
+  const TopologySnapshot& snap = *net.snapshot();
+  const KeyId* keys = snap.keys_data();
+  const uint8_t* alive = snap.alive_data();
+  RouteStep step;
+  const PeerId current = stack_.back();
+  step.from = current;
+  const auto owner = snap.OwnerOf(target_);
+  if (owner.has_value() && current == *owner) {
+    result_.success = true;
+    result_.terminal = current;
+    done_ = true;
+    step.kind = StepKind::kArrived;
+    return step;
+  }
+  ordered_.clear();
+  ForEachNeighbor(snap, current, [&](PeerId candidate) {
+    ordered_.emplace_back(RingDistance(keys[candidate], target_), candidate);
+  });
+  std::sort(ordered_.begin(), ordered_.end());
+
+  PeerId next = current;
+  bool found = false;
+  for (const auto& [distance, candidate] : ordered_) {
+    (void)distance;
+    if (visited_.count(candidate) != 0) continue;
+    if (!alive[candidate]) {
+      // First probe of a dead neighbor costs a message; remember it so
+      // revisits after backtracking don't double-charge.
+      if (probed_dead_.insert(candidate).second) {
+        ++result_.wasted;
+        ++step.dead_probes;
+      }
+      continue;
+    }
+    next = candidate;
+    found = true;
+    break;
+  }
+  if (found) {
+    visited_.insert(next);
+    stack_.push_back(next);
+    ++result_.hops;
+    result_.path.push_back(next);
+    result_.terminal = next;
+    step.kind = StepKind::kForward;
+    step.to = next;
+    return step;
+  }
+  stack_.pop_back();  // Dead end: return the query to the previous hop.
+  ++result_.wasted;
+  if (stack_.empty()) {
+    result_.terminal = source_;
+    result_.success = false;
+    done_ = true;
+    step.kind = StepKind::kStuck;
+    return step;
+  }
+  result_.terminal = stack_.back();
+  step.kind = StepKind::kBacktrack;
+  step.to = stack_.back();
+  return step;
+}
+
+}  // namespace oscar

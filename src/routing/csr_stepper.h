@@ -1,0 +1,44 @@
+// CSR-specialized route steppers: the same greedy and fault-aware-DFS
+// algorithms as route_stepper.h, but reading a frozen TopologySnapshot's
+// flat key/caps/alive/offset arrays directly — no NetworkView dispatch
+// branch per read, and neighbors iterated in place from the CSR rows
+// instead of being materialized into a vector first. A snapshot cannot
+// change mid-route, which is exactly the license the flat-array reads
+// need.
+//
+// Semantics are identical BY CONSTRUCTION to the generic steppers: the
+// CSR classes inherit Start/Abandon/FailDelivery and override only
+// Step, whose neighbor enumeration order (ring successor, predecessor
+// when distinct, long out-links in stored order) and pass structure
+// mirror the generic code line for line. csr_stepper_test holds the two
+// implementations to per-step and per-route equality on seeds 42-45;
+// Router::Route selects these automatically whenever the view's backend
+// is a snapshot, so every harness byte stays where it was.
+
+#ifndef OSCAR_ROUTING_CSR_STEPPER_H_
+#define OSCAR_ROUTING_CSR_STEPPER_H_
+
+#include <string>
+
+#include "routing/route_stepper.h"
+
+namespace oscar {
+
+/// GreedyStepper over a frozen snapshot. Precondition for Step():
+/// the view passed to Start/Step has net.snapshot() != nullptr.
+class CsrGreedyStepper : public GreedyStepper {
+ public:
+  RouteStep Step(NetworkView net) override;
+  std::string name() const override { return "csr-greedy"; }
+};
+
+/// BacktrackingStepper over a frozen snapshot; same precondition.
+class CsrBacktrackingStepper : public BacktrackingStepper {
+ public:
+  RouteStep Step(NetworkView net) override;
+  std::string name() const override { return "csr-backtracking"; }
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_ROUTING_CSR_STEPPER_H_

@@ -92,7 +92,9 @@ class GreedyStepper : public RouteStepper {
   PeerId current() const override { return current_; }
   std::string name() const override { return "greedy"; }
 
- private:
+ protected:
+  // Shared with CsrGreedyStepper (routing/csr_stepper.h), which reuses
+  // Start/Abandon/FailDelivery and overrides only the hot Step.
   RouteResult result_;
   KeyId target_;
   PeerId current_ = 0;
@@ -115,7 +117,8 @@ class BacktrackingStepper : public RouteStepper {
   }
   std::string name() const override { return "backtracking"; }
 
- private:
+ protected:
+  // Shared with CsrBacktrackingStepper (routing/csr_stepper.h).
   RouteResult result_;
   KeyId target_;
   PeerId source_ = 0;

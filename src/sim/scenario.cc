@@ -149,6 +149,14 @@ Result<ScenarioResult> RunScenario(const std::string& name,
 Result<ScenarioResult> RunScenarioOn(const std::string& name,
                                      const ScenarioOptions& base,
                                      const GrownTopology& grown) {
+  Network scratch;
+  return RunScenarioOn(name, base, grown, &scratch);
+}
+
+Result<ScenarioResult> RunScenarioOn(const std::string& name,
+                                     const ScenarioOptions& base,
+                                     const GrownTopology& grown,
+                                     Network* scratch) {
   auto resolved = MakeScenarioOptions(name, base);
   if (!resolved.ok()) return resolved.status();
   const ScenarioOptions& options = resolved.value();
@@ -157,7 +165,10 @@ Result<ScenarioResult> RunScenarioOn(const std::string& name,
   }
 
   // Mutable restore of the shared frozen topology: churn happens here.
-  Network net = grown.snapshot.Restore();
+  // On a recycled scratch this is a delta repair of the peers the
+  // previous scenario touched, not an O(N) rebuild.
+  grown.snapshot.RestoreInto(scratch);
+  Network& net = *scratch;
   const OverlayPtr overlay = grown.overlay;
   const KeyDistributionPtr peer_keys = grown.keys;
   const DegreeDistributionPtr peer_degrees = grown.degrees;

@@ -89,6 +89,16 @@ Result<ScenarioResult> RunScenarioOn(const std::string& name,
                                      const ScenarioOptions& base,
                                      const GrownTopology& grown);
 
+/// As above, but restoring into a caller-owned scratch network that is
+/// recycled across scenarios: the snapshot's delta restore repairs only
+/// the peers the previous scenario's churn touched (O(touched), nothing
+/// for churn-free scenarios) instead of rebuilding all N peer rows.
+/// Results are identical to the scratch-free overload.
+Result<ScenarioResult> RunScenarioOn(const std::string& name,
+                                     const ScenarioOptions& base,
+                                     const GrownTopology& grown,
+                                     Network* scratch);
+
 /// Convenience: GrowScenarioTopology + RunScenarioOn for one-off runs.
 Result<ScenarioResult> RunScenario(const std::string& name,
                                    const ScenarioOptions& base);

@@ -1,0 +1,129 @@
+// CSR stepper vs generic NetworkView stepper: the snapshot-specialized
+// fast path must replay the generic algorithms move for move — same
+// step kinds, same hops, same dead probes, same final routes — across
+// seeds 42-45, intact and crashed. This is the per-query guard that
+// lets Router::Route swap steppers by backend without moving a harness
+// byte.
+
+#include <gtest/gtest.h>
+
+#include "churn/churn.h"
+#include "core/network_view.h"
+#include "core/topology_snapshot.h"
+#include "overlay/kleinberg/kleinberg_overlay.h"
+#include "routing/backtracking_router.h"
+#include "routing/csr_stepper.h"
+#include "routing/greedy_router.h"
+
+namespace oscar {
+namespace {
+
+Network LinkedNetwork(size_t n, uint64_t seed) {
+  Network net;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    net.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{8, 8});
+  }
+  KleinbergOverlay overlay;
+  for (PeerId id : net.AlivePeers()) {
+    EXPECT_TRUE(overlay.BuildLinks(&net, id, &rng).ok());
+  }
+  return net;
+}
+
+/// Drives both steppers over the same frozen snapshot one Step at a
+/// time and requires every observable of every step to agree.
+void ExpectLockstepEqual(RouteStepper& csr, RouteStepper& generic,
+                         const TopologySnapshot& snap, PeerId source,
+                         KeyId target, const char* label) {
+  const NetworkView view(snap);
+  csr.Start(view, source, target);
+  generic.Start(view, source, target);
+  ASSERT_EQ(csr.done(), generic.done()) << label;
+  // Generous bound: both algorithms terminate well before it.
+  for (size_t i = 0; i < 8 * snap.alive_count() + 64 && !csr.done(); ++i) {
+    ASSERT_FALSE(generic.done()) << label << " step " << i;
+    const RouteStep a = csr.Step(view);
+    const RouteStep b = generic.Step(view);
+    ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind))
+        << label << " step " << i;
+    ASSERT_EQ(a.from, b.from) << label << " step " << i;
+    ASSERT_EQ(a.to, b.to) << label << " step " << i;
+    ASSERT_EQ(a.dead_probes, b.dead_probes) << label << " step " << i;
+    ASSERT_EQ(csr.current(), generic.current()) << label << " step " << i;
+    ASSERT_EQ(csr.done(), generic.done()) << label << " step " << i;
+  }
+  ASSERT_TRUE(csr.done() && generic.done()) << label;
+  const RouteResult& ra = csr.result();
+  const RouteResult& rb = generic.result();
+  EXPECT_EQ(ra.success, rb.success) << label;
+  EXPECT_EQ(ra.hops, rb.hops) << label;
+  EXPECT_EQ(ra.wasted, rb.wasted) << label;
+  EXPECT_EQ(ra.terminal, rb.terminal) << label;
+  EXPECT_EQ(ra.path, rb.path) << label;
+}
+
+TEST(CsrStepperTest, LockstepEqualityAcrossSeedsAndCrashLevels) {
+  for (uint64_t seed = 42; seed <= 45; ++seed) {
+    for (const double crash : {0.0, 0.2}) {
+      Network net = LinkedNetwork(250, seed);
+      if (crash > 0.0) {
+        Rng crash_rng(seed ^ 0xfeedULL);
+        ASSERT_TRUE(CrashFraction(&net, crash, &crash_rng).ok());
+      }
+      const TopologySnapshot snap(net);
+      const std::vector<PeerId> alive = net.AlivePeers();
+      Rng query_rng(seed * 777);
+      for (int q = 0; q < 120; ++q) {
+        const PeerId source =
+            alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+        const KeyId target = KeyId::FromUnit(query_rng.NextDouble());
+        CsrGreedyStepper csr_greedy;
+        GreedyStepper greedy;
+        ExpectLockstepEqual(csr_greedy, greedy, snap, source, target,
+                            "greedy");
+        CsrBacktrackingStepper csr_dfs;
+        BacktrackingStepper dfs;
+        ExpectLockstepEqual(csr_dfs, dfs, snap, source, target,
+                            "backtracking");
+      }
+    }
+  }
+}
+
+TEST(CsrStepperTest, RouterDispatchMatchesGenericPathPerQuery) {
+  // Router::Route over a snapshot (CSR path) vs over the live network
+  // (generic path): whole-route equality, the harness-facing contract.
+  const GreedyRouter greedy;
+  const BacktrackingRouter backtracking;
+  for (uint64_t seed = 42; seed <= 45; ++seed) {
+    Network net = LinkedNetwork(250, seed);
+    Rng crash_rng(seed ^ 0xbeefULL);
+    ASSERT_TRUE(CrashFraction(&net, 0.15, &crash_rng).ok());
+    const TopologySnapshot snap(net);
+    const std::vector<PeerId> alive = net.AlivePeers();
+    Rng query_rng(seed * 1009);
+    for (int q = 0; q < 150; ++q) {
+      const PeerId source =
+          alive[static_cast<size_t>(query_rng.UniformInt(alive.size()))];
+      const KeyId target = KeyId::FromUnit(query_rng.NextDouble());
+      for (const Router* router :
+           {static_cast<const Router*>(&greedy),
+            static_cast<const Router*>(&backtracking)}) {
+        const RouteResult live = router->Route(net, source, target);
+        const RouteResult frozen = router->Route(snap, source, target);
+        ASSERT_EQ(live.success, frozen.success)
+            << router->name() << " seed " << seed << " query " << q;
+        ASSERT_EQ(live.hops, frozen.hops)
+            << router->name() << " seed " << seed << " query " << q;
+        ASSERT_EQ(live.wasted, frozen.wasted)
+            << router->name() << " seed " << seed << " query " << q;
+        ASSERT_EQ(live.path, frozen.path)
+            << router->name() << " seed " << seed << " query " << q;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oscar

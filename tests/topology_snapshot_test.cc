@@ -92,31 +92,98 @@ TEST(TopologySnapshotTest, ViewOverSnapshotMatchesCrashedNetwork) {
   ExpectViewsAgree(net, TopologySnapshot(net));
 }
 
+/// Peer-table + ring structural equality, field by field.
+void ExpectStructurallyEqual(const Network& net, const Network& restored) {
+  ASSERT_EQ(net.size(), restored.size());
+  ASSERT_EQ(net.alive_count(), restored.alive_count());
+  for (PeerId id = 0; id < net.size(); ++id) {
+    const Peer& a = net.peer(id);
+    const Peer& b = restored.peer(id);
+    EXPECT_EQ(a.key, b.key) << "peer " << id;
+    EXPECT_EQ(a.caps.max_in, b.caps.max_in) << "peer " << id;
+    EXPECT_EQ(a.caps.max_out, b.caps.max_out) << "peer " << id;
+    EXPECT_EQ(a.alive, b.alive) << "peer " << id;
+    EXPECT_EQ(a.long_out, b.long_out) << "peer " << id;
+    EXPECT_EQ(a.long_in_peers, b.long_in_peers) << "peer " << id;
+    EXPECT_EQ(a.long_in, b.long_in) << "peer " << id;
+  }
+  for (size_t pos = 0; pos < net.ring().size(); ++pos) {
+    EXPECT_EQ(net.ring().at(pos).id, restored.ring().at(pos).id)
+        << "ring position " << pos;
+    EXPECT_EQ(net.ring().at(pos).key_raw, restored.ring().at(pos).key_raw)
+        << "ring position " << pos;
+  }
+}
+
 TEST(TopologySnapshotTest, RestoreIsStructurallyIdentical) {
   Network net = LinkedNetwork(250, 43);
   Rng rng(9);
   ASSERT_TRUE(CrashFraction(&net, 0.1, &rng).ok());
   const TopologySnapshot snap(net);
   Network restored = snap.Restore();
-  ASSERT_EQ(net.size(), restored.size());
-  ASSERT_EQ(net.alive_count(), restored.alive_count());
-  for (PeerId id = 0; id < net.size(); ++id) {
-    const Peer& a = net.peer(id);
-    const Peer& b = restored.peer(id);
-    EXPECT_EQ(a.key, b.key);
-    EXPECT_EQ(a.caps.max_in, b.caps.max_in);
-    EXPECT_EQ(a.caps.max_out, b.caps.max_out);
-    EXPECT_EQ(a.alive, b.alive);
-    EXPECT_EQ(a.long_out, b.long_out);
-    EXPECT_EQ(a.long_in_peers, b.long_in_peers);
-    EXPECT_EQ(a.long_in, b.long_in);
-  }
+  ExpectStructurallyEqual(net, restored);
   // The restored network mutates independently of the frozen source:
   // crashing it must not disturb the snapshot or a second restore.
   const PeerId victim = restored.AlivePeers().front();
   restored.Crash(victim);
   EXPECT_TRUE(snap.alive(victim));
   EXPECT_TRUE(snap.Restore().peer(victim).alive);
+}
+
+TEST(TopologySnapshotTest, DeltaRestoreMatchesFullRestoreAfterCrashes) {
+  // snapshot + crash set, restored through the journaled delta path,
+  // must be structurally identical to a fresh full Restore() — the
+  // contract fig2's per-crash-level scratch recycling rides on.
+  Network net = LinkedNetwork(250, 44);
+  const TopologySnapshot snap(net);
+  Network scratch;
+  snap.RestoreInto(&scratch);  // First restore: full rebuild, arms journal.
+  ExpectStructurallyEqual(net, scratch);
+  // Crash an escalating fraction per round; each RestoreInto must heal
+  // the scratch back to the frozen state via the journal alone.
+  for (const double crash : {0.1, 0.33, 0.05}) {
+    Rng rng(static_cast<uint64_t>(crash * 1000) + 17);
+    ASSERT_TRUE(CrashFraction(&scratch, crash, &rng).ok());
+    snap.RestoreInto(&scratch);
+    ExpectStructurallyEqual(net, scratch);
+  }
+}
+
+TEST(TopologySnapshotTest, DeltaRestoreHealsJoinsAndRewiredLinks) {
+  // Scenario-style mutation: crashes AND joins with freshly built
+  // links (which append in-links to old peers). The delta restore must
+  // drop the joined peers and repair every old peer their links
+  // touched.
+  Network net = LinkedNetwork(200, 45);
+  const TopologySnapshot snap(net);
+  Network scratch;
+  snap.RestoreInto(&scratch);
+  Rng rng(99);
+  ASSERT_TRUE(CrashFraction(&scratch, 0.2, &rng).ok());
+  KleinbergOverlay overlay;
+  for (int j = 0; j < 20; ++j) {
+    const PeerId id =
+        scratch.Join(KeyId::FromUnit(rng.NextDouble()), DegreeCaps{8, 8});
+    ASSERT_TRUE(overlay.BuildLinks(&scratch, id, &rng).ok());
+  }
+  snap.RestoreInto(&scratch);
+  ExpectStructurallyEqual(net, scratch);
+}
+
+TEST(TopologySnapshotTest, DeltaRestoreFallsBackAcrossSnapshots) {
+  // A scratch restored from snapshot A must be fully rebuilt when
+  // restored from snapshot B — the journal only speaks for A.
+  Network a = LinkedNetwork(150, 46);
+  Network b = LinkedNetwork(180, 47);
+  const TopologySnapshot snap_a(a);
+  const TopologySnapshot snap_b(b);
+  Network scratch;
+  snap_a.RestoreInto(&scratch);
+  ExpectStructurallyEqual(a, scratch);
+  snap_b.RestoreInto(&scratch);
+  ExpectStructurallyEqual(b, scratch);
+  snap_a.RestoreInto(&scratch);
+  ExpectStructurallyEqual(a, scratch);
 }
 
 TEST(TopologySnapshotTest, RouteOverSnapshotMatchesLiveNetwork) {

@@ -61,6 +61,25 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
   return out;
 }
 
+void PrintUsage(std::ostream& out) {
+  out << "usage: oscar_sim [--list] [--cross-check] "
+         "[--scenarios a,b,c] [--trace-file out.csv] "
+         "[scenario ...]\nscenarios:";
+  for (const std::string& name : ScenarioCatalog()) {
+    out << " " << name;
+  }
+  out << "\n";
+}
+
+/// Flag-parse rejection: one diagnostic plus the usage line, exit 2
+/// (the CLI's infrastructure-error code, distinct from a failed
+/// cross-check's exit 1).
+int RejectUsage(const std::string& message) {
+  std::cerr << "oscar_sim: " << message << "\n";
+  PrintUsage(std::cerr);
+  return 2;
+}
+
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -79,12 +98,12 @@ int RunCli(const std::vector<std::string>& args) {
     } else if (arg == "--cross-check") {
       cross_check = true;
     } else if (arg == "--scenarios" || arg.rfind("--scenarios=", 0) == 0) {
+      // Repeats accumulate (like listing the names bare); an empty
+      // value — separate or trailing `=` — is always a rejection.
       std::string raw_list;
       if (arg == "--scenarios") {
         if (i + 1 >= args.size()) {
-          std::cerr << "oscar_sim: --scenarios requires a comma-separated "
-                       "list\n";
-          return 2;
+          return RejectUsage("--scenarios requires a comma-separated list");
         }
         raw_list = args[++i];
       } else {
@@ -92,33 +111,29 @@ int RunCli(const std::vector<std::string>& args) {
       }
       std::vector<std::string> parsed = SplitCommaList(raw_list);
       if (parsed.empty()) {
-        std::cerr << "oscar_sim: --scenarios got an empty list\n";
-        return 2;
+        return RejectUsage("--scenarios got an empty list");
       }
       for (std::string& name : parsed) names.push_back(std::move(name));
     } else if (arg == "--trace-file" || arg.rfind("--trace-file=", 0) == 0) {
+      if (!trace_path.empty()) {
+        return RejectUsage("duplicate --trace-file (one trace per run)");
+      }
       if (arg == "--trace-file") {
         if (i + 1 >= args.size()) {
-          std::cerr << "oscar_sim: --trace-file requires a path\n";
-          return 2;
+          return RejectUsage("--trace-file requires a path");
         }
         trace_path = args[++i];
       } else {
         trace_path = arg.substr(sizeof("--trace-file=") - 1);
       }
       if (trace_path.empty()) {
-        std::cerr << "oscar_sim: --trace-file requires a path\n";
-        return 2;
+        return RejectUsage("--trace-file requires a path");
       }
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: oscar_sim [--list] [--cross-check] "
-                   "[--scenarios a,b,c] [--trace-file out.csv] "
-                   "[scenario ...]\nscenarios:";
-      for (const std::string& name : ScenarioCatalog()) {
-        std::cout << " " << name;
-      }
-      std::cout << "\n";
+      PrintUsage(std::cout);
       return 0;
+    } else if (arg.rfind("-", 0) == 0) {
+      return RejectUsage(StrCat("unknown flag: '", arg, "'"));
     } else {
       names.push_back(arg);
     }
@@ -141,11 +156,11 @@ int RunCli(const std::vector<std::string>& args) {
 
   if (!cross_check && names.empty()) names = ScenarioCatalog();
 
-  // Validate names before paying for growth.
+  // Validate names before paying for growth — every name, not just the
+  // first bad one's predecessors, so `valid,bogus` still exits 2.
   for (const std::string& name : names) {
     if (auto probe = MakeScenarioOptions(name, base); !probe.ok()) {
-      std::cerr << "oscar_sim: " << probe.status().message() << "\n";
-      return 2;
+      return RejectUsage(probe.status().message());
     }
   }
 
@@ -187,13 +202,17 @@ int RunCli(const std::vector<std::string>& args) {
                    "p95_ms", "hops", "wasted", "msgs", "timeout", "retry",
                    "peak_ifl", "load_p2m", "gini", "crash", "join"});
   const auto run_start = std::chrono::steady_clock::now();
+  // One scratch network recycled across scenario replays: each
+  // RunScenarioOn delta-restores it (repairing only what the previous
+  // scenario's churn touched) instead of rebuilding all N peer rows.
+  Network scratch;
   for (const std::string& name : names) {
     ScenarioOptions options = base;
     if (trace_file.is_open()) {
       trace_file << "# scenario=" << name << "\n";
       options.sim.trace_csv = &trace_file;
     }
-    auto run = RunScenarioOn(name, options, grown.value());
+    auto run = RunScenarioOn(name, options, grown.value(), &scratch);
     if (!run.ok()) {
       std::cerr << "oscar_sim: " << name << ": " << run.status().message()
                 << "\n";
