@@ -50,6 +50,11 @@ def index_micro(doc):
     return {row["benchmark"]: row for row in doc.get("micro_core", [])}
 
 
+def index_growth(doc):
+    # Keyed by worker-thread count; absent in pre-PR5 artifacts.
+    return {row["threads"]: row for row in doc.get("growth_probe", [])}
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two run_benches perf artifacts.")
@@ -105,6 +110,27 @@ def main():
                 regressions.append((name, b, c, delta))
             print(f"{name:<34} {b:>10.1f} {c:>10.1f} {delta:>+7.1%}"
                   f"{marker}")
+
+    base_g, curr_g = index_growth(base), index_growth(curr)
+    if curr_g:
+        print(f"\n{'growth probe (rewire ms/checkpoint)':<34} {'base':>10} "
+              f"{'curr':>10} {'delta':>8}")
+        for threads in sorted(curr_g):
+            c = curr_g[threads]["rewire_ms_per_checkpoint"]
+            base_row = base_g.get(threads)
+            if base_row is None:
+                print(f"{'threads=' + str(threads):<34} {'--':>10} "
+                      f"{c:>10.1f} {'new':>8}")
+                continue
+            b = base_row["rewire_ms_per_checkpoint"]
+            delta = (c - b) / b if b > 0 else 0.0
+            marker = ""
+            if delta > args.threshold:
+                marker = "  << REGRESSION"
+                regressions.append(
+                    (f"growth_probe[threads={threads}]", b, c, delta))
+            print(f"{'threads=' + str(threads):<34} {b:>10.1f} {c:>10.1f} "
+                  f"{delta:>+7.1%}{marker}")
 
     if regressions:
         print(f"\ncompare_benches: {len(regressions)} regression(s) over "

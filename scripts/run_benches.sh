@@ -11,11 +11,13 @@
 # harnesses.
 #
 # Side effect: writes ${build_dir}/${OSCAR_BENCH_OUT} (default
-# BENCH_pr4.json) — per-harness wall time plus micro_core benchmark
-# numbers — the perf-trajectory artifact CI uploads per run — and
-# copies it to the repo root so the trajectory is comparable across
-# commits (scripts/compare_benches.py diffs two of them). The JSON is
-# informational; the gate is still the exit codes and VIOLATED grep.
+# BENCH_pr5.json) — per-harness wall time, micro_core benchmark
+# numbers, and the growth_probe checkpoint-rewiring wall times at 1 and
+# OSCAR_PROBE_THREADS (default 4) worker threads — the perf-trajectory
+# artifact CI uploads per run — and copies it to the repo root so the
+# trajectory is comparable across commits (scripts/compare_benches.py
+# diffs two of them). The JSON is informational; the gate is still the
+# exit codes and VIOLATED grep.
 
 set -u
 
@@ -27,7 +29,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 # committed one. A malformed name is an error, not a silent fallback —
 # falling back to the default would overwrite the committed baseline
 # and corrupt the A/B flow documented in compare_benches.py.
-artifact="${OSCAR_BENCH_OUT:-BENCH_pr4.json}"
+artifact="${OSCAR_BENCH_OUT:-BENCH_pr5.json}"
 if [[ ! "${artifact}" =~ ^[A-Za-z0-9._-]+$ ]]; then
   echo "run_benches: invalid OSCAR_BENCH_OUT '${artifact}'" \
        "(want a bare file name, [A-Za-z0-9._-]+)" >&2
@@ -98,6 +100,35 @@ if [[ -x "${build_dir}/micro_core" ]]; then
   fi
 fi
 
+# Growth micro-probe: checkpoint-rewiring wall ms at N=3000 (the
+# post-PR4 growth bottleneck), once single-threaded and once on the
+# worker pool, so the trajectory captures both the algorithmic win and
+# the threading win. Probe scale is fixed — it must stay comparable
+# across runs regardless of the harness-scale knobs above.
+growth_rows=()
+if [[ -x "${build_dir}/growth_probe" ]]; then
+  probe_threads="${OSCAR_PROBE_THREADS:-4}"
+  [[ "${probe_threads}" =~ ^[0-9]+$ ]] || probe_threads=4
+  probe_runs=(1)
+  [[ "${probe_threads}" -ne 1 ]] && probe_runs+=("${probe_threads}")
+  for threads in "${probe_runs[@]}"; do
+    # Seed pinned too: the probe must measure the same workload no
+    # matter what seed the harness gate above swept.
+    row=$(OSCAR_BENCH_SIZE=3000 OSCAR_BENCH_SEED=42 \
+          OSCAR_THREADS="${threads}" \
+          "${build_dir}/growth_probe" 2>/dev/null)
+    if [[ "${row}" == {* ]]; then
+      growth_rows+=("    ${row},")
+    else
+      echo "run_benches: growth_probe failed at OSCAR_THREADS=${threads}" >&2
+    fi
+  done
+  if [[ "${#growth_rows[@]}" -gt 0 ]]; then
+    last=$(( ${#growth_rows[@]} - 1 ))
+    growth_rows[${last}]="${growth_rows[${last}]%,}"
+  fi
+fi
+
 # Mirror the harnesses' EnvOrDefault semantics: a non-integer seed
 # falls back to the default instead of corrupting the JSON.
 seed="${OSCAR_BENCH_SEED:-42}"
@@ -123,6 +154,11 @@ scale="${OSCAR_BENCH_SCALE:-small}"
   echo "  ],"
   echo "  \"micro_core\": ["
   for row in "${micro_rows[@]+"${micro_rows[@]}"}"; do
+    echo "${row}"
+  done
+  echo "  ],"
+  echo "  \"growth_probe\": ["
+  for row in "${growth_rows[@]+"${growth_rows[@]}"}"; do
     echo "${row}"
   done
   echo "  ]"

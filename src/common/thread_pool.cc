@@ -1,0 +1,51 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace oscar {
+
+void ParallelFor(uint32_t threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  const uint32_t workers = static_cast<uint32_t>(
+      std::min<size_t>(std::max(1u, threads), count));
+  if (workers == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Dynamic index stealing: per-peer work is highly variable (a walk
+  // can hit its stride test early or burn the whole rejection budget),
+  // so static striping would leave the fast workers idle.
+  std::atomic<size_t> next{0};
+  const auto drain = [&]() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> extra;
+  extra.reserve(workers - 1);
+  for (uint32_t t = 1; t < workers; ++t) extra.emplace_back(drain);
+  drain();  // The calling thread is worker 0.
+  for (std::thread& thread : extra) thread.join();
+}
+
+uint32_t ThreadCountFromEnv() {
+  const char* value = std::getenv("OSCAR_THREADS");
+  if (value == nullptr || *value == '\0') return 1;
+  // strtoul "accepts" a leading minus by wrapping; treat it as garbage
+  // instead of 2^64-ish threads.
+  if (*value == '-' || *value == '+') return 1;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed == 0 || parsed > 256ul) {
+    return 1;
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+}  // namespace oscar

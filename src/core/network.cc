@@ -105,6 +105,50 @@ void Network::ClearLongLinks(PeerId id) {
   Touch(id);
 }
 
+void Network::ClearAllLongLinks() {
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    Peer& peer = peers_[id];
+    if (!peer.alive) continue;  // Dead peers hold no link state.
+    bool changed = false;
+    if (!peer.long_out.empty()) {
+      peer.long_out.clear();
+      changed = true;
+    }
+    if (peer.long_in != 0) {
+      peer.long_in_peers.clear();
+      peer.long_in = 0;
+      changed = true;
+    }
+    if (changed) Touch(id);
+  }
+}
+
+size_t Network::ApplyLinkPlan(PeerId from,
+                              const std::vector<LinkCandidate>& candidates,
+                              uint32_t budget) {
+  size_t added = 0;
+  for (const LinkCandidate& candidate : candidates) {
+    if (added >= budget) break;
+    PeerId to = candidate.primary;
+    if (candidate.alternate != candidate.primary &&
+        RelativeInLoad(peers_[candidate.alternate]) <
+            RelativeInLoad(peers_[candidate.primary])) {
+      to = candidate.alternate;
+    }
+    if (AddLongLink(from, to)) {
+      ++added;
+    } else if (candidate.alternate != candidate.primary) {
+      // The pair's winner was refused (saturated by earlier plans, or
+      // already linked): a peer holding two sampled candidates falls
+      // back to the other one before burning a backup slot.
+      const PeerId other =
+          to == candidate.primary ? candidate.alternate : candidate.primary;
+      if (AddLongLink(from, other)) ++added;
+    }
+  }
+  return added;
+}
+
 size_t Network::PruneDeadLinks(PeerId id) {
   Peer& peer = peers_[id];
   const size_t before = peer.long_out.size();

@@ -31,6 +31,24 @@ struct Peer {
   uint32_t long_in = 0;              // == long_in_peers.size(), cached.
 };
 
+/// Fraction of a peer's declared in-capacity currently in use — the
+/// load signal power-of-two-choices selection compares.
+inline double RelativeInLoad(const Peer& peer) {
+  if (peer.caps.max_in == 0) return 1.0;
+  return static_cast<double>(peer.long_in) /
+         static_cast<double>(peer.caps.max_in);
+}
+
+/// One planned link slot: a sampled target plus an optional alternate
+/// (power of two choices). The pair is resolved at APPLY time against
+/// live in-loads — resolving it at plan time against a frozen snapshot
+/// would herd every planner onto the same stale-low-load targets.
+/// alternate == primary when no second sample was drawn.
+struct LinkCandidate {
+  PeerId primary = 0;
+  PeerId alternate = 0;
+};
+
 class Network {
  public:
   /// Adds an alive peer and indexes it on the ring. Returns its id.
@@ -71,6 +89,26 @@ class Network {
 
   /// Drops all long out-links of `id`, returning targets' in-degree.
   void ClearLongLinks(PeerId id);
+
+  /// Drops every long link in the network in one pass — the start of a
+  /// global checkpoint rewire. Equivalent to ClearLongLinks on every
+  /// alive peer but O(N + E) with no per-target in-list searches; each
+  /// peer whose out- or in-state changes is journaled exactly once per
+  /// side (delta restores depend on every changed row being Touched).
+  void ClearAllLongLinks();
+
+  /// Applies a planned candidate list for `from`: resolves each pair's
+  /// power-of-two choice against the CURRENT in-loads (live feedback —
+  /// earlier applied plans steer later choices, exactly as incremental
+  /// construction's p2c did), then tries AddLongLink on the winner,
+  /// walking the list until `budget` links have landed or it runs out.
+  /// Every accepted link goes through AddLongLink itself, so in/out-
+  /// caps, liveness, self and duplicate rejection — and the mutation
+  /// journal — behave exactly as in incremental construction. Returns
+  /// the number of links added.
+  size_t ApplyLinkPlan(PeerId from,
+                       const std::vector<LinkCandidate>& candidates,
+                       uint32_t budget);
 
   /// Drops out-links of `id` that point at dead peers; returns the count.
   size_t PruneDeadLinks(PeerId id);

@@ -45,7 +45,26 @@ class Rng {
   /// A statistically independent child generator.
   Rng Split() { return Rng(Next() ^ 0x632be59bd9b4e019ULL); }
 
+  /// Counter-forked stream: a generator derived purely from
+  /// (seed, stream, substream), consuming nothing from any live Rng.
+  /// Checkpoint rewiring forks one per (rewire salt, checkpoint, peer)
+  /// so every peer's plan draws from its own stream regardless of the
+  /// order — or thread — the plans are computed in.
+  static Rng Fork(uint64_t seed, uint64_t stream, uint64_t substream) {
+    uint64_t state = Mix(seed + 0x9e3779b97f4a7c15ULL);
+    state = Mix(state ^ (stream + 0xbf58476d1ce4e5b9ULL));
+    state = Mix(state ^ (substream + 0x94d049bb133111ebULL));
+    return Rng(state);
+  }
+
  private:
+  /// splitmix64 finalizer: full-avalanche mixing for Fork.
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   uint64_t state_;
 };
 

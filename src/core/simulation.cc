@@ -1,9 +1,12 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/topology_snapshot.h"
 #include "degree/constant_degree.h"
 #include "degree/spiky_degree.h"
 #include "degree/stepped_degree.h"
@@ -94,6 +97,68 @@ Result<DegreeDistributionPtr> MakePaperDegreeDistribution(
 
 Simulation::Simulation(GrowthConfig config) : config_(std::move(config)) {}
 
+Status Simulation::RewireAllPeers(size_t checkpoint_index, uint32_t threads,
+                                  Rng* rng) {
+  // The paper's periodic global rewiring: recompute everyone's
+  // partitions now that N has changed since they joined.
+  if (config_.overlay->SupportsPlanning()) {
+    // Batch path, modelling peers that rewire concurrently from what
+    // they observe: freeze the pre-checkpoint topology once, plan every
+    // peer's cuts and links read-only over the frozen snapshot, then
+    // clear and apply (salt-shuffled order, see below). One salt draw
+    // keeps the growth
+    // stream advancing identically regardless of N or thread count;
+    // each peer's plan runs on its own Fork()ed stream, so the plan set
+    // is independent of scheduling — byte-identical at any OSCAR_THREADS.
+    const uint64_t rewire_salt = rng->Next();
+    const TopologySnapshot frozen(network_);
+    const std::vector<PeerId> peers = network_.AlivePeers();
+    std::vector<PeerLinkPlan> plans(peers.size());
+    const Overlay& overlay = *config_.overlay;
+    // Distinct domain-separation constants keep the three derived
+    // stream families (per-peer planning, apply shuffle) and the salt
+    // itself decorrelated (fractional parts of sqrt(3) and of the
+    // golden ratio's cousin — arbitrary odd mixing words).
+    constexpr uint64_t kPlanStreamSalt = 0xbb67ae8584caa73bULL;
+    ParallelFor(threads, peers.size(), [&](size_t i) {
+      Rng peer_rng = Rng::Fork(rewire_salt ^ kPlanStreamSalt,
+                               checkpoint_index, peers[i]);
+      plans[i] = overlay.PlanLinks(frozen, peers[i], &peer_rng);
+    });
+    network_.ClearAllLongLinks();
+    // Apply in a salt-shuffled (deterministic) order: ring order would
+    // hand every in-cap contention win to the same key-space locality
+    // wave, skewing who keeps links under saturation.
+    std::vector<size_t> order(peers.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    Rng shuffle_rng(rewire_salt ^ 0x5bf03635d51f3a4dULL);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<size_t>(shuffle_rng.UniformInt(i))]);
+    }
+    uint64_t sampling_steps = 0;
+    for (size_t i = 0; i < peers.size(); ++i) {
+      network_.ApplyLinkPlan(peers[order[i]], plans[order[i]].candidates,
+                             plans[order[i]].budget);
+      sampling_steps += plans[order[i]].sampling_steps;
+    }
+    config_.overlay->AddSamplingSteps(sampling_steps);
+    return Status::Ok();
+  }
+  // Sequential rebuild for overlays without a planner (oracle
+  // constructions): clear everything, then re-link each peer in ring
+  // order against the mutating network — the historical path, kept
+  // byte-identical for those overlays.
+  for (PeerId peer : network_.AlivePeers()) {
+    network_.ClearLongLinks(peer);
+  }
+  for (PeerId peer : network_.AlivePeers()) {
+    const Status status = config_.overlay->BuildLinks(&network_, peer, rng);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
 Result<GrowthResult> Simulation::Run() {
   if (config_.target_size == 0) {
     return Status::Error("growth: target_size must be positive");
@@ -123,6 +188,9 @@ Result<GrowthResult> Simulation::Run() {
   GrowthResult result;
   const GreedyRouter router;
   size_t next_checkpoint = 0;
+  const uint32_t threads = config_.rewire_threads != 0
+                               ? config_.rewire_threads
+                               : ThreadCountFromEnv();
 
   while (network_.alive_count() < config_.target_size) {
     const PeerId id =
@@ -134,16 +202,15 @@ Result<GrowthResult> Simulation::Run() {
     while (next_checkpoint < checkpoints.size() &&
            network_.alive_count() == checkpoints[next_checkpoint]) {
       if (config_.rewire_at_checkpoints) {
-        // The paper's periodic global rewiring: recompute everyone's
-        // partitions now that N has changed since they joined.
-        for (PeerId peer : network_.AlivePeers()) {
-          network_.ClearLongLinks(peer);
-        }
-        for (PeerId peer : network_.AlivePeers()) {
-          const Status status =
-              config_.overlay->BuildLinks(&network_, peer, &rng);
-          if (!status.ok()) return status;
-        }
+        const auto rewire_start = std::chrono::steady_clock::now();
+        const Status rewired =
+            RewireAllPeers(next_checkpoint, threads, &rng);
+        if (!rewired.ok()) return rewired;
+        result.rewire_wall_ms +=
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - rewire_start)
+                .count();
+        ++result.rewire_count;
       }
       CheckpointResult checkpoint;
       checkpoint.network_size = network_.alive_count();

@@ -85,6 +85,13 @@ struct GrowthConfig {
   /// evaluating (the paper's periodic global rewiring); joins between
   /// checkpoints only wire the joining peer.
   bool rewire_at_checkpoints = true;
+  /// Worker threads for the checkpoint-rewiring fan-out (overlays that
+  /// support planning freeze the pre-checkpoint topology and plan every
+  /// peer concurrently over it). 0 resolves OSCAR_THREADS from the
+  /// environment (default 1). The GrowthResult is byte-identical at
+  /// any thread count: each peer plans from its own forked rng stream
+  /// and plans are applied in a salt-shuffled deterministic order.
+  uint32_t rewire_threads = 0;
   /// Optional per-checkpoint callback (e.g. crash a copy and evaluate
   /// under churn). Runs after the built-in evaluation.
   std::function<Status(const Network&, size_t checkpoint_size, Rng* rng)>
@@ -98,6 +105,11 @@ struct CheckpointResult {
 
 struct GrowthResult {
   std::vector<CheckpointResult> checkpoints;
+  /// Wall time spent in checkpoint rewiring, summed over checkpoints.
+  /// Timing only — never printed by the deterministic harnesses;
+  /// consumed by tools/growth_probe for the perf artifact.
+  double rewire_wall_ms = 0.0;
+  size_t rewire_count = 0;  // Checkpoints that performed a rewire.
 };
 
 class Simulation {
@@ -111,6 +123,13 @@ class Simulation {
   const GrowthConfig& config() const { return config_; }
 
  private:
+  /// The paper's periodic global rewiring. Planning overlays get the
+  /// batch path: freeze, plan all peers (parallel, per-peer forked
+  /// rngs), clear, apply in a salt-shuffled deterministic order.
+  /// Others rebuild sequentially.
+  Status RewireAllPeers(size_t checkpoint_index, uint32_t threads,
+                        Rng* rng);
+
   GrowthConfig config_;
   Network network_;
 };

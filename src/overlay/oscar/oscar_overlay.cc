@@ -21,26 +21,20 @@ OscarOptions WithDefaults(OscarOptions options) {
   return options;
 }
 
-double RelativeInLoad(const Peer& peer) {
-  if (peer.caps.max_in == 0) return 1.0;
-  return static_cast<double>(peer.long_in) /
-         static_cast<double>(peer.caps.max_in);
-}
-
 }  // namespace
 
-KeyId OscarPartitioner::SampledMedian(const Network& net, PeerId id,
-                                      const RingSegment& seg,
-                                      Rng* rng) const {
+KeyId OscarPartitioner::SampledMedian(NetworkView net, PeerId id,
+                                      const RingSegment& seg, Rng* rng,
+                                      uint64_t* steps) const {
   std::vector<uint64_t> offsets;  // Clockwise distance from segment start.
   offsets.reserve(options_->samples_per_median);
   for (uint32_t i = 0; i < options_->samples_per_median; ++i) {
     auto sample =
         options_->sampler->SampleInSegment(net, id, seg.from, seg.to, rng);
     if (!sample.ok()) continue;
-    *sampling_steps_ += sample.value().steps;
+    *steps += sample.value().steps;
     offsets.push_back(
-        ClockwiseDistance(seg.from, net.peer(sample.value().peer).key));
+        ClockwiseDistance(seg.from, net.key(sample.value().peer)));
   }
   if (offsets.empty()) {
     // Sampling failed (e.g. unreachable sliver): split at the key-space
@@ -52,14 +46,15 @@ KeyId OscarPartitioner::SampledMedian(const Network& net, PeerId id,
 }
 
 std::vector<RingSegment> OscarPartitioner::ComputePartitions(
-    const Network& net, PeerId id, Rng* rng) const {
+    NetworkView net, PeerId id, Rng* rng, uint64_t* steps) const {
+  if (steps == nullptr) steps = sampling_steps_;
   std::vector<RingSegment> partitions;
-  const Peer& self = net.peer(id);
-  if (!self.alive || net.alive_count() < 3) return partitions;
+  if (!net.alive(id) || net.alive_count() < 3) return partitions;
 
   // The full ring except the peer itself: clockwise from just after our
   // key back around to it.
-  RingSegment remaining{KeyId::FromRaw(self.key.raw + 1), self.key};
+  const KeyId self_key = net.key(id);
+  RingSegment remaining{KeyId::FromRaw(self_key.raw + 1), self_key};
   if (net.ring().CountInSegment(remaining.from, remaining.to) == 0) {
     return partitions;
   }
@@ -72,7 +67,7 @@ std::vector<RingSegment> OscarPartitioner::ComputePartitions(
                        std::log2(std::max(2.0, n_hat))))));
 
   for (uint32_t level = 0; level + 1 < k; ++level) {
-    const KeyId median = SampledMedian(net, id, remaining, rng);
+    const KeyId median = SampledMedian(net, id, remaining, rng, steps);
     // Guard degenerate cuts that would empty either side.
     if (median == remaining.from || median == remaining.to) break;
     const RingSegment far_half{median, remaining.to};
@@ -91,6 +86,38 @@ OscarOverlay::OscarOverlay(OscarOptions options)
     : options_(WithDefaults(std::move(options))),
       partitioner_(&options_, &sampling_steps_) {}
 
+std::optional<LinkCandidate> OscarOverlay::SampleLinkCandidate(
+    NetworkView net, PeerId id, const std::vector<RingSegment>& partitions,
+    Rng* rng, uint64_t* steps, const RingSegment* fixed_segment) const {
+  // Uniform partition + uniform peer inside it == harmonic in rank;
+  // a caller may pin the partition instead (the planner's stratified
+  // first round), trading the draw for guaranteed coverage.
+  const RingSegment& segment =
+      fixed_segment != nullptr
+          ? *fixed_segment
+          : partitions[static_cast<size_t>(
+                rng->UniformInt(partitions.size()))];
+  auto first = options_.sampler->SampleInSegment(net, id, segment.from,
+                                                 segment.to, rng);
+  if (!first.ok()) return std::nullopt;
+  *steps += first.value().steps;
+  LinkCandidate candidate;
+  candidate.primary = first.value().peer;
+  candidate.alternate = candidate.primary;
+  if (options_.use_p2c) {
+    // Power of two choices: sample a second candidate from the same
+    // partition; whoever carries the lower relative in-load when the
+    // link is actually placed wins.
+    auto second = options_.sampler->SampleInSegment(net, id, segment.from,
+                                                    segment.to, rng);
+    if (second.ok()) {
+      *steps += second.value().steps;
+      candidate.alternate = second.value().peer;
+    }
+  }
+  return candidate;
+}
+
 Status OscarOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
   if (!net->peer(id).alive) return Status::Ok();
   uint32_t budget = net->RemainingOutBudget(id);
@@ -104,27 +131,16 @@ Status OscarOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
     bool linked = false;
     for (uint32_t attempt = 0; attempt < options_.attempts_per_link;
          ++attempt) {
-      // Uniform partition + uniform peer inside it == harmonic in rank.
-      const RingSegment& segment = partitions[static_cast<size_t>(
-          rng->UniformInt(partitions.size()))];
-      auto first = options_.sampler->SampleInSegment(*net, id, segment.from,
-                                                     segment.to, rng);
-      if (!first.ok()) continue;
-      sampling_steps_ += first.value().steps;
-      PeerId target = first.value().peer;
-      if (options_.use_p2c) {
-        // Power of two choices: sample a second candidate from the same
-        // partition and keep the one with the lower relative in-load.
-        auto second = options_.sampler->SampleInSegment(
-            *net, id, segment.from, segment.to, rng);
-        if (second.ok()) {
-          sampling_steps_ += second.value().steps;
-          const PeerId alt = second.value().peer;
-          if (RelativeInLoad(net->peer(alt)) <
-              RelativeInLoad(net->peer(target))) {
-            target = alt;
-          }
-        }
+      const auto candidate =
+          SampleLinkCandidate(*net, id, partitions, rng, &sampling_steps_);
+      if (!candidate.has_value()) continue;
+      // Incremental construction resolves the p2c pair right here,
+      // against the loads the links it just placed have produced.
+      PeerId target = candidate->primary;
+      if (candidate->alternate != candidate->primary &&
+          RelativeInLoad(net->peer(candidate->alternate)) <
+              RelativeInLoad(net->peer(candidate->primary))) {
+        target = candidate->alternate;
       }
       if (net->AddLongLink(id, target)) {
         linked = true;
@@ -135,6 +151,61 @@ Status OscarOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
     --budget;
   }
   return Status::Ok();
+}
+
+PeerLinkPlan OscarOverlay::PlanLinks(NetworkView net, PeerId id,
+                                     Rng* rng) const {
+  PeerLinkPlan plan;
+  if (!net.alive(id)) return plan;
+  // The rewire clears every long link before plans are applied, so the
+  // budget is the full out-cap — not the frozen remaining budget.
+  plan.budget = net.caps(id).max_out;
+  if (plan.budget == 0 || net.alive_count() < 3) return plan;
+
+  const std::vector<RingSegment> partitions =
+      partitioner_.ComputePartitions(net, id, rng, &plan.sampling_steps);
+  if (partitions.empty()) return plan;
+
+  // Sampling runs over the intact frozen topology (links still up —
+  // what a live peer's walks would actually traverse); feasibility and
+  // the p2c pair resolution belong to the apply phase, where loads are
+  // live. Planning only rejects what the peer itself can see:
+  // re-sampled primaries already slotted in its own plan.
+  const size_t slots =
+      static_cast<size_t>(plan.budget) + options_.plan_backup_slots;
+  // Stratified first round — one slot pinned to each partition,
+  // farthest first — then uniform partition draws, the paper's
+  // construction (one neighbor per partition) generalized to budgets
+  // beyond log2(N-hat). Uniform draws alone leave a few percent of
+  // peers with no far link at all (Binomial variance), and those
+  // missing longest hops are exactly what greedy routing pays for
+  // most.
+  for (size_t slot = 0; plan.candidates.size() < slots; ++slot) {
+    const RingSegment* pinned =
+        slot < partitions.size() && slot < plan.budget ? &partitions[slot]
+                                                       : nullptr;
+    bool found = false;
+    for (uint32_t attempt = 0; attempt < options_.attempts_per_link;
+         ++attempt) {
+      const auto candidate = SampleLinkCandidate(
+          net, id, partitions, rng, &plan.sampling_steps, pinned);
+      if (!candidate.has_value()) continue;
+      const bool seen =
+          std::find_if(plan.candidates.begin(), plan.candidates.end(),
+                       [&](const LinkCandidate& c) {
+                         return c.primary == candidate->primary;
+                       }) != plan.candidates.end();
+      if (seen) continue;
+      plan.candidates.push_back(*candidate);
+      found = true;
+      break;
+    }
+    // A dry pinned partition (unreachable sliver, or its peers already
+    // slotted) forfeits only its own slot; a dry uniform draw means
+    // the partitions are out of fresh candidates everywhere.
+    if (!found && pinned == nullptr) break;
+  }
+  return plan;
 }
 
 }  // namespace oscar

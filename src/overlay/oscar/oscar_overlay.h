@@ -10,6 +10,7 @@
 #ifndef OSCAR_OVERLAY_OSCAR_OSCAR_OVERLAY_H_
 #define OSCAR_OVERLAY_OSCAR_OSCAR_OVERLAY_H_
 
+#include <optional>
 #include <vector>
 
 #include "overlay/overlay.h"
@@ -25,6 +26,12 @@ struct OscarOptions {
   bool use_p2c = true;              // Power-of-two-choices in-degree balance.
   uint32_t attempts_per_link = 8;   // Saturated-target retries per link.
   uint32_t max_partitions = 48;     // Safety cap on log2(N-hat).
+  /// Extra candidate slots PlanLinks proposes beyond the out budget.
+  /// Plans are computed blind to each other, so some slots die at
+  /// apply time against targets other plans saturated first; the
+  /// backups (plus each slot's p2c alternate) let ApplyLinkPlan refill
+  /// without a second sampling round.
+  uint32_t plan_backup_slots = 4;
 };
 
 /// A clockwise ring segment [from, to).
@@ -42,15 +49,20 @@ class OscarPartitioner {
 
   /// Partitions of the ring as seen from `id`, ordered farthest (about
   /// half the population) to nearest (a handful of peers). Empty when
-  /// the network is too small to partition.
-  std::vector<RingSegment> ComputePartitions(const Network& net, PeerId id,
-                                             Rng* rng) const;
+  /// the network is too small to partition. `steps` receives the
+  /// sampling spend; when null it is charged to the enclosing overlay's
+  /// counter — the single-threaded convenience the harnesses use. The
+  /// parallel planner always passes its own per-plan accumulator, which
+  /// is what makes this method safe to call concurrently.
+  std::vector<RingSegment> ComputePartitions(NetworkView net, PeerId id,
+                                             Rng* rng,
+                                             uint64_t* steps = nullptr) const;
 
  private:
   /// Median key of the clockwise segment, by sampling; falls back to the
   /// key-space midpoint when sampling fails.
-  KeyId SampledMedian(const Network& net, PeerId id, const RingSegment& seg,
-                      Rng* rng) const;
+  KeyId SampledMedian(NetworkView net, PeerId id, const RingSegment& seg,
+                      Rng* rng, uint64_t* steps) const;
 
   const OscarOptions* options_;
   uint64_t* sampling_steps_;  // Owned by the enclosing overlay.
@@ -67,12 +79,34 @@ class OscarOverlay : public Overlay {
 
   std::string name() const override { return "oscar"; }
   Status BuildLinks(Network* net, PeerId id, Rng* rng) override;
+
+  /// Read-only rewiring plan over a frozen topology: same partition +
+  /// sampling machinery as BuildLinks, but assuming the global link
+  /// clear that precedes a checkpoint rewire, and with all state
+  /// (candidates, sampling spend) returned instead of applied — safe to
+  /// fan out across threads with per-peer rng streams.
+  bool SupportsPlanning() const override { return true; }
+  PeerLinkPlan PlanLinks(NetworkView net, PeerId id,
+                         Rng* rng) const override;
+  void AddSamplingSteps(uint64_t steps) override { sampling_steps_ += steps; }
+
   uint64_t sampling_steps() const override { return sampling_steps_; }
 
   const OscarPartitioner& partitioner() const { return partitioner_; }
   const OscarOptions& options() const { return options_; }
 
  private:
+  /// Draws one link slot from `partitions`: uniform partition (or the
+  /// pinned `fixed_segment`), sampled primary, and (with p2c on) a
+  /// sampled alternate from the same partition. Exactly the rng
+  /// consumption of one BuildLinks attempt; WHO wins the pair is the
+  /// caller's business — BuildLinks compares live loads immediately,
+  /// PlanLinks defers to apply time.
+  std::optional<LinkCandidate> SampleLinkCandidate(
+      NetworkView net, PeerId id, const std::vector<RingSegment>& partitions,
+      Rng* rng, uint64_t* steps,
+      const RingSegment* fixed_segment = nullptr) const;
+
   OscarOptions options_;
   uint64_t sampling_steps_ = 0;
   OscarPartitioner partitioner_;

@@ -9,12 +9,28 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/network.h"
+#include "core/network_view.h"
 #include "core/rng.h"
 
 namespace oscar {
+
+/// One peer's rewiring intent, computed read-only against a frozen
+/// pre-checkpoint topology. `candidates` is the ordered slot list the
+/// peer would link to (each a sampled target plus optional p2c
+/// alternate, resolved against live loads at apply); the apply phase
+/// (Network::ApplyLinkPlan) walks it until `budget` links land,
+/// skipping targets whose in-caps other peers' plans saturated first —
+/// which is why a planner may propose a few more slots than it has
+/// budget for.
+struct PeerLinkPlan {
+  std::vector<LinkCandidate> candidates;
+  uint32_t budget = 0;
+  uint64_t sampling_steps = 0;  // Protocol messages this plan cost.
+};
 
 class Overlay {
  public:
@@ -26,6 +42,30 @@ class Overlay {
   /// the strategy gives up on saturated targets). Idempotent top-up:
   /// existing links are kept.
   virtual Status BuildLinks(Network* net, PeerId id, Rng* rng) = 0;
+
+  /// True when PlanLinks is implemented. Checkpoint rewiring then
+  /// freezes the pre-checkpoint topology once and plans every peer
+  /// read-only over it — order-independent and thread-safe — instead
+  /// of rebuilding peers one by one against a half-rewired network.
+  virtual bool SupportsPlanning() const { return false; }
+
+  /// Plans `id`'s post-rewire links against `net` (typically a frozen
+  /// TopologySnapshot), assuming all long links will be cleared before
+  /// the plan is applied. Must be thread-safe: called concurrently for
+  /// distinct peers with per-peer forked rngs, and must not mutate
+  /// overlay state — sampling spend is returned in the plan and folded
+  /// back via AddSamplingSteps after the deterministic reduce.
+  virtual PeerLinkPlan PlanLinks(NetworkView net, PeerId id,
+                                 Rng* rng) const {
+    (void)net;
+    (void)id;
+    (void)rng;
+    return PeerLinkPlan{};
+  }
+
+  /// Folds sampling spend measured outside BuildLinks (the planning
+  /// fan-out) back into sampling_steps(). No-op for oracle overlays.
+  virtual void AddSamplingSteps(uint64_t steps) { (void)steps; }
 
   /// Cumulative protocol messages spent on sampling by this overlay
   /// instance (0 for oracle constructions).

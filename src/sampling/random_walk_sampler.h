@@ -33,6 +33,11 @@ struct RandomWalkOptions {
   /// reject ~93% of its escape moves. The floor bounds the trap at
   /// 1/floor expected steps and still removes most of the degree bias.
   double mh_floor = 0.3;
+  /// Test-only hook: when set, every walk position is appended — the
+  /// origin, then each accepted proposal. The per-walk lockstep test
+  /// uses it to hold the generic and CSR walk paths to the identical
+  /// visited-peer sequence. Not thread-safe; leave null outside tests.
+  std::vector<PeerId>* visit_trace = nullptr;
 };
 
 class RandomWalkSegmentSampler : public SegmentSampler {

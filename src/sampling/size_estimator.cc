@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "core/topology_snapshot.h"
 
 namespace oscar {
+namespace {
+
+/// Gap-window span over a frozen snapshot: the same successor chain as
+/// the generic loop below, but walking precomputed ring positions
+/// directly (one modular increment per hop) instead of an optional-
+/// wrapped SuccessorOf per peer. Returns the summed clockwise span of
+/// `window` successor gaps starting at `origin`, or 0 when the origin
+/// is dead or the ring is degenerate — exactly the generic outcomes.
+uint64_t GapSpanCsr(const TopologySnapshot& snap, PeerId origin,
+                    uint32_t window) {
+  const Ring& ring = snap.ring();
+  const size_t n = ring.size();
+  uint32_t pos = snap.ring_pos(origin);
+  if (n < 2 || pos == TopologySnapshot::kNotOnRing) return 0;
+  uint64_t span = 0;
+  for (uint32_t i = 0; i < window; ++i) {
+    const uint32_t next = static_cast<uint32_t>((pos + 1) % n);
+    span += ClockwiseDistance(KeyId::FromRaw(ring.at(pos).key_raw),
+                              KeyId::FromRaw(ring.at(next).key_raw));
+    pos = next;
+  }
+  return span;
+}
+
+}  // namespace
 
 double OracleSizeEstimator::Estimate(NetworkView net, PeerId origin,
                                      Rng* rng) const {
@@ -20,13 +46,17 @@ double GapSizeEstimator::Estimate(NetworkView net, PeerId origin,
   if (alive < 2) return 1.0;
   const uint32_t window =
       static_cast<uint32_t>(std::min<size_t>(window_, alive - 1));
-  PeerId current = origin;
   uint64_t span = 0;
-  for (uint32_t i = 0; i < window; ++i) {
-    const auto next = net.SuccessorOf(current);
-    if (!next.has_value()) break;
-    span += ClockwiseDistance(net.key(current), net.key(*next));
-    current = *next;
+  if (net.snapshot() != nullptr) {
+    span = GapSpanCsr(*net.snapshot(), origin, window);
+  } else {
+    PeerId current = origin;
+    for (uint32_t i = 0; i < window; ++i) {
+      const auto next = net.SuccessorOf(current);
+      if (!next.has_value()) break;
+      span += ClockwiseDistance(net.key(current), net.key(*next));
+      current = *next;
+    }
   }
   if (span == 0) return static_cast<double>(alive);
   const double span_fraction =

@@ -170,6 +170,53 @@ TEST(TopologySnapshotTest, DeltaRestoreHealsJoinsAndRewiredLinks) {
   ExpectStructurallyEqual(net, scratch);
 }
 
+TEST(TopologySnapshotTest, DeltaRestoreHealsBatchRewire) {
+  // The checkpoint-rewiring batch mutators must journal exactly the
+  // rows they change: a global ClearAllLongLinks + ApplyLinkPlan cycle
+  // on a journaled scratch, followed by RestoreInto, must heal back to
+  // the frozen state. A forgotten Touch in either mutator corrupts this
+  // silently — the delta path would skip the dirty row.
+  Network net = LinkedNetwork(250, 48);
+  const TopologySnapshot snap(net);
+  Network scratch;
+  snap.RestoreInto(&scratch);
+  ExpectStructurallyEqual(net, scratch);
+  Rng rng(123);
+  for (int round = 0; round < 3; ++round) {
+    // A full batch rewire, the shape Simulation::RewireAllPeers drives:
+    // clear every long link, then apply fresh plans in ring order.
+    const std::vector<PeerId> alive = scratch.AlivePeers();
+    scratch.ClearAllLongLinks();
+    for (PeerId id : alive) {
+      std::vector<LinkCandidate> candidates;
+      for (int c = 0; c < 6; ++c) {
+        LinkCandidate candidate;
+        candidate.primary = alive[static_cast<size_t>(
+            rng.UniformInt(alive.size()))];
+        candidate.alternate = alive[static_cast<size_t>(
+            rng.UniformInt(alive.size()))];
+        candidates.push_back(candidate);
+      }
+      scratch.ApplyLinkPlan(id, candidates, /*budget=*/4);
+    }
+    snap.RestoreInto(&scratch);
+    ExpectStructurallyEqual(net, scratch);
+  }
+}
+
+TEST(TopologySnapshotTest, ClearAllLongLinksMatchesPerPeerClear) {
+  // The batched clear must leave the network exactly where per-peer
+  // ClearLongLinks calls would — including dangling links to dead
+  // peers, which only the owners' rows record.
+  Network a = LinkedNetwork(200, 49);
+  Rng rng(7);
+  ASSERT_TRUE(CrashFraction(&a, 0.2, &rng).ok());
+  Network b = TopologySnapshot(a).Restore();
+  for (PeerId id : a.AlivePeers()) a.ClearLongLinks(id);
+  b.ClearAllLongLinks();
+  ExpectStructurallyEqual(a, b);
+}
+
 TEST(TopologySnapshotTest, DeltaRestoreFallsBackAcrossSnapshots) {
   // A scratch restored from snapshot A must be fully rebuilt when
   // restored from snapshot B — the journal only speaks for A.

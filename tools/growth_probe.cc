@@ -1,0 +1,68 @@
+// Growth micro-probe for the perf artifact: grows one fig1c-style
+// Oscar network (Gnutella keys, "realistic" degrees) and reports the
+// wall time of the checkpoint-rewiring phase — the post-PR4 growth
+// bottleneck — as one JSON object on stdout.
+//
+//   OSCAR_BENCH_SIZE   target size (default 3000, the probe scale the
+//                      perf trajectory tracks)
+//   OSCAR_BENCH_SEED   growth seed (default 42)
+//   OSCAR_THREADS      rewiring worker threads (default 1)
+//
+// scripts/run_benches.sh runs it at 1 and max threads and folds the
+// rows into the BENCH artifact; scripts/compare_benches.py diffs them
+// across PRs. Timing goes to the JSON only — the probe prints no
+// topology-dependent numbers, so it stays out of the determinism
+// contract's way.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/thread_pool.h"
+#include "core/experiments.h"
+#include "core/simulation.h"
+
+int main() {
+  using namespace oscar;
+  const ExperimentScale scale = ScaleFromEnv();
+  const uint32_t threads = ThreadCountFromEnv();
+
+  auto keys = MakeKeyDistribution("gnutella");
+  auto degrees = MakePaperDegreeDistribution("realistic");
+  if (!keys.ok() || !degrees.ok()) {
+    std::fprintf(stderr, "growth_probe: distribution setup failed\n");
+    return 2;
+  }
+  GrowthConfig config;
+  config.target_size = scale.target_size;
+  config.queries_per_checkpoint = 1;  // Rewiring is the probe target.
+  config.seed = scale.seed;
+  config.checkpoints = scale.checkpoints;
+  config.key_distribution = std::move(keys).value();
+  config.degree_distribution = std::move(degrees).value();
+  config.overlay = OscarFactory()();
+  config.rewire_threads = threads;
+
+  Simulation sim(std::move(config));
+  const auto start = std::chrono::steady_clock::now();
+  auto run = sim.Run();
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (!run.ok()) {
+    std::fprintf(stderr, "growth_probe: growth failed\n");
+    return 2;
+  }
+  const GrowthResult& result = run.value();
+  const double per_checkpoint =
+      result.rewire_count > 0
+          ? result.rewire_wall_ms / static_cast<double>(result.rewire_count)
+          : 0.0;
+  std::printf(
+      "{\"size\": %zu, \"threads\": %u, \"checkpoints\": %zu, "
+      "\"rewire_ms_total\": %.1f, \"rewire_ms_per_checkpoint\": %.1f, "
+      "\"growth_ms_total\": %.1f}\n",
+      sim.network().alive_count(), threads, result.rewire_count,
+      result.rewire_wall_ms, per_checkpoint, total_ms);
+  return 0;
+}
