@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Thread-invariance smoke for the serving firehose, run under ctest:
+# the oscar_serve summary (stdout) must be byte-identical at
+# OSCAR_THREADS=1 vs 4 for seeds 42-45 — the whole sweep, rate limiting
+# off included (rate 0) and on (a paced rate), uniform and Zipf-hot
+# keys. Only stderr may carry wall-clock numbers, so stdout diffing is
+# the exact contract the CLI documents.
+#
+#   scripts/check_serve_determinism.sh path/to/oscar_serve
+#
+# The script pins OSCAR_THREADS itself (ctest may run with either
+# ambient value; both runs happen here regardless).
+
+set -u
+
+serve="${1:?usage: check_serve_determinism.sh path/to/oscar_serve}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+export OSCAR_BENCH_SIZE=300
+unset OSCAR_BENCH_SCALE 2>/dev/null || true
+
+args=(--lookups=20000 --rates=0,4000 --hot-keys=8)
+
+fail=0
+for seed in 42 43 44 45; do
+  for threads in 1 4; do
+    out="${workdir}/seed${seed}_t${threads}.out"
+    if ! OSCAR_BENCH_SEED="${seed}" OSCAR_THREADS="${threads}" \
+         "${serve}" "${args[@]}" > "${out}" 2>/dev/null; then
+      echo "FAIL seed=${seed} threads=${threads}: nonzero exit" >&2
+      fail=1
+    fi
+  done
+  if ! cmp -s "${workdir}/seed${seed}_t1.out" \
+              "${workdir}/seed${seed}_t4.out"; then
+    echo "FAIL seed=${seed}: summary differs between OSCAR_THREADS=1 and 4" >&2
+    diff "${workdir}/seed${seed}_t1.out" "${workdir}/seed${seed}_t4.out" | head -20 >&2
+    fail=1
+  fi
+done
+
+# Different seeds must NOT collide (a trivially constant summary would
+# pass the diff above while measuring nothing).
+if cmp -s "${workdir}/seed42_t1.out" "${workdir}/seed43_t1.out"; then
+  echo "FAIL: seeds 42 and 43 produced identical summaries" >&2
+  fail=1
+fi
+
+if [[ "${fail}" -eq 0 ]]; then
+  echo "check_serve_determinism: byte-identical at 1 vs 4 threads, seeds 42-45"
+fi
+exit "${fail}"

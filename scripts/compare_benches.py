@@ -55,6 +55,12 @@ def index_growth(doc):
     return {row["threads"]: row for row in doc.get("growth_probe", [])}
 
 
+def serve_section(doc):
+    # One object or null/absent (pre-PR6 artifacts, or a failed run).
+    serve = doc.get("serve")
+    return serve if isinstance(serve, dict) else None
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two run_benches perf artifacts.")
@@ -131,6 +137,44 @@ def main():
                     (f"growth_probe[threads={threads}]", b, c, delta))
             print(f"{'threads=' + str(threads):<34} {b:>10.1f} {c:>10.1f} "
                   f"{delta:>+7.1%}{marker}")
+
+    base_s, curr_s = serve_section(base), serve_section(curr)
+    if curr_s:
+        print(f"\n{'serve firehose':<34} {'base':>10} {'curr':>10} "
+              f"{'delta':>8}")
+        c = curr_s.get("route_lookups_per_s", 0.0)
+        if base_s is None:
+            print(f"{'route_lookups_per_s':<34} {'--':>10} {c:>10.0f} "
+                  f"{'new':>8}")
+        else:
+            b = base_s.get("route_lookups_per_s", 0.0)
+            # Throughput regresses by DECREASING (unlike the wall-time
+            # rows above), so the threshold applies to the drop.
+            delta = (c - b) / b if b > 0 else 0.0
+            marker = ""
+            if delta < -args.threshold:
+                marker = "  << REGRESSION"
+                regressions.append(("serve.route_lookups_per_s",
+                                    b, c, delta))
+            print(f"{'route_lookups_per_s':<34} {b:>10.0f} {c:>10.0f} "
+                  f"{delta:>+7.1%}{marker}")
+        base_cells = {} if base_s is None else {
+            (row.get("offered_per_s"), row.get("policy")): row
+            for row in base_s.get("cells", [])}
+        for cell in curr_s.get("cells", []):
+            key = (cell.get("offered_per_s"), cell.get("policy"))
+            label = f"p99[{cell.get('policy')}@{cell.get('offered_per_s'):g}]"
+            base_cell = base_cells.get(key)
+            if base_cell is None:
+                print(f"{label:<34} {'--':>10} {cell.get('p99_ms'):>10.2f} "
+                      f"{'new':>8}")
+                continue
+            b, c = base_cell.get("p99_ms", 0.0), cell.get("p99_ms", 0.0)
+            delta = (c - b) / b if b > 0 else 0.0
+            # Virtual-time tails are deterministic per knob set; report
+            # the diff but never flag it — a changed service model is a
+            # code change to review, not a runner-noise regression.
+            print(f"{label:<34} {b:>10.2f} {c:>10.2f} {delta:>+7.1%}")
 
     if regressions:
         print(f"\ncompare_benches: {len(regressions)} regression(s) over "

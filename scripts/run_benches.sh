@@ -11,13 +11,14 @@
 # harnesses.
 #
 # Side effect: writes ${build_dir}/${OSCAR_BENCH_OUT} (default
-# BENCH_pr5.json) — per-harness wall time, micro_core benchmark
-# numbers, and the growth_probe checkpoint-rewiring wall times at 1 and
-# OSCAR_PROBE_THREADS (default 4) worker threads — the perf-trajectory
-# artifact CI uploads per run — and copies it to the repo root so the
-# trajectory is comparable across commits (scripts/compare_benches.py
-# diffs two of them). The JSON is informational; the gate is still the
-# exit codes and VIOLATED grep.
+# BENCH_pr6.json) — per-harness wall time, micro_core benchmark
+# numbers, the growth_probe checkpoint-rewiring wall times (plus peak
+# RSS) at 1 and OSCAR_PROBE_THREADS (default 4) worker threads, and the
+# oscar_serve firehose sweep (route-phase lookups/s + the rate x policy
+# cells) — the perf-trajectory artifact CI uploads per run — and copies
+# it to the repo root so the trajectory is comparable across commits
+# (scripts/compare_benches.py diffs two of them). The JSON is
+# informational; the gate is still the exit codes and VIOLATED grep.
 
 set -u
 
@@ -29,7 +30,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 # committed one. A malformed name is an error, not a silent fallback —
 # falling back to the default would overwrite the committed baseline
 # and corrupt the A/B flow documented in compare_benches.py.
-artifact="${OSCAR_BENCH_OUT:-BENCH_pr5.json}"
+artifact="${OSCAR_BENCH_OUT:-BENCH_pr6.json}"
 if [[ ! "${artifact}" =~ ^[A-Za-z0-9._-]+$ ]]; then
   echo "run_benches: invalid OSCAR_BENCH_OUT '${artifact}'" \
        "(want a bare file name, [A-Za-z0-9._-]+)" >&2
@@ -106,9 +107,9 @@ fi
 # the threading win. Probe scale is fixed — it must stay comparable
 # across runs regardless of the harness-scale knobs above.
 growth_rows=()
+probe_threads="${OSCAR_PROBE_THREADS:-4}"
+[[ "${probe_threads}" =~ ^[0-9]+$ ]] || probe_threads=4
 if [[ -x "${build_dir}/growth_probe" ]]; then
-  probe_threads="${OSCAR_PROBE_THREADS:-4}"
-  [[ "${probe_threads}" =~ ^[0-9]+$ ]] || probe_threads=4
   probe_runs=(1)
   [[ "${probe_threads}" -ne 1 ]] && probe_runs+=("${probe_threads}")
   for threads in "${probe_runs[@]}"; do
@@ -126,6 +127,24 @@ if [[ -x "${build_dir}/growth_probe" ]]; then
   if [[ "${#growth_rows[@]}" -gt 0 ]]; then
     last=$(( ${#growth_rows[@]} - 1 ))
     growth_rows[${last}]="${growth_rows[${last}]%,}"
+  fi
+fi
+
+# Serving firehose: the default rate x policy sweep over the same
+# frozen N=3000 / seed-42 snapshot the growth probe measures, on the
+# full worker pool. --bench-json prints one JSON object (route-phase
+# lookups/s plus per-cell achieved rate and tail latencies) that embeds
+# verbatim. A missing binary or failed run degrades to "serve": null —
+# the artifact stays parseable either way.
+serve_row="null"
+if [[ -x "${build_dir}/oscar_serve" ]]; then
+  row=$(OSCAR_BENCH_SIZE=3000 OSCAR_BENCH_SEED=42 \
+        OSCAR_THREADS="${probe_threads}" \
+        "${build_dir}/oscar_serve" --bench-json 2>/dev/null)
+  if [[ "${row}" == {* ]]; then
+    serve_row="${row}"
+  else
+    echo "run_benches: oscar_serve --bench-json failed" >&2
   fi
 fi
 
@@ -161,7 +180,8 @@ scale="${OSCAR_BENCH_SCALE:-small}"
   for row in "${growth_rows[@]+"${growth_rows[@]}"}"; do
     echo "${row}"
   done
-  echo "  ]"
+  echo "  ],"
+  echo "  \"serve\": ${serve_row}"
   echo "}"
 } > "${json}"
 

@@ -1,6 +1,5 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
 #include <algorithm>
 #include <cstdlib>
 #include <thread>
@@ -8,30 +7,54 @@
 
 namespace oscar {
 
-void ParallelFor(uint32_t threads, size_t count,
-                 const std::function<void(size_t)>& fn) {
+void ParallelForWorkers(uint32_t threads, size_t count,
+                        const std::function<void(uint32_t, size_t)>& fn,
+                        PoolGauge* gauge) {
+  if (gauge != nullptr) gauge->Reset(count);
   if (count == 0) return;
   const uint32_t workers = static_cast<uint32_t>(
       std::min<size_t>(std::max(1u, threads), count));
   if (workers == 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) {
+      if (gauge != nullptr) {
+        gauge->dispatched_.fetch_add(1, std::memory_order_relaxed);
+      }
+      fn(0, i);
+      if (gauge != nullptr) {
+        gauge->completed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     return;
   }
-  // Dynamic index stealing: per-peer work is highly variable (a walk
+  // Dynamic index stealing: per-index work is highly variable (a walk
   // can hit its stride test early or burn the whole rejection budget),
   // so static striping would leave the fast workers idle.
   std::atomic<size_t> next{0};
-  const auto drain = [&]() {
+  const auto drain = [&](uint32_t worker) {
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
-      fn(i);
+      if (gauge != nullptr) {
+        gauge->dispatched_.fetch_add(1, std::memory_order_relaxed);
+      }
+      fn(worker, i);
+      if (gauge != nullptr) {
+        gauge->completed_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   };
   std::vector<std::thread> extra;
   extra.reserve(workers - 1);
-  for (uint32_t t = 1; t < workers; ++t) extra.emplace_back(drain);
-  drain();  // The calling thread is worker 0.
+  for (uint32_t t = 1; t < workers; ++t) {
+    extra.emplace_back(drain, t);
+  }
+  drain(0);  // The calling thread is worker 0.
   for (std::thread& thread : extra) thread.join();
+}
+
+void ParallelFor(uint32_t threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForWorkers(
+      threads, count, [&fn](uint32_t, size_t i) { fn(i); }, nullptr);
 }
 
 uint32_t ThreadCountFromEnv() {

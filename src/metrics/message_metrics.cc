@@ -7,19 +7,20 @@
 namespace oscar {
 
 LatencySummary SummarizeLatency(std::vector<double> samples_ms) {
+  // The shared log-bucket histogram (also behind serve/latency_recorder)
+  // instead of sort-based exact percentiles: constant memory, O(n)
+  // instead of O(n log n), and ~2% bucket quantization on the
+  // percentiles — well inside the run-to-run spread the message-level
+  // summaries tolerate. Mean and max stay exact.
   LatencySummary summary;
   if (samples_ms.empty()) return summary;
-  double total = 0.0;
-  double max = samples_ms.front();
-  for (double ms : samples_ms) {
-    total += ms;
-    max = std::max(max, ms);
-  }
-  summary.mean_ms = total / static_cast<double>(samples_ms.size());
-  summary.max_ms = max;
-  summary.p50_ms = Percentile(samples_ms, 50.0);
-  summary.p95_ms = Percentile(samples_ms, 95.0);
-  summary.p99_ms = Percentile(std::move(samples_ms), 99.0);
+  LogHistogram hist;
+  for (double ms : samples_ms) hist.Record(ms);
+  summary.mean_ms = hist.Mean();
+  summary.max_ms = hist.Max();
+  summary.p50_ms = hist.Percentile(50.0);
+  summary.p95_ms = hist.Percentile(95.0);
+  summary.p99_ms = hist.Percentile(99.0);
   return summary;
 }
 

@@ -1,0 +1,83 @@
+#include "serve/admission.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace oscar {
+namespace {
+
+class AdmitAll : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "none"; }
+  bool Admit(size_t, size_t) const override { return true; }
+};
+
+class DropTail : public AdmissionPolicy {
+ public:
+  explicit DropTail(size_t queue_capacity) : capacity_(queue_capacity) {}
+  std::string name() const override { return "drop-tail"; }
+  bool Admit(size_t queue_depth, size_t) const override {
+    return queue_depth < capacity_;
+  }
+
+ private:
+  size_t capacity_;
+};
+
+class TimeoutShed : public AdmissionPolicy {
+ public:
+  explicit TimeoutShed(double timeout_ms) : timeout_ms_(timeout_ms) {}
+  std::string name() const override { return "timeout"; }
+  bool Admit(size_t, size_t) const override { return true; }
+  double QueueTimeoutMs() const override { return timeout_ms_; }
+
+ private:
+  double timeout_ms_;
+};
+
+class PeerCap : public AdmissionPolicy {
+ public:
+  explicit PeerCap(size_t cap) : cap_(cap) {}
+  std::string name() const override { return "peer-cap"; }
+  bool Admit(size_t, size_t peer_in_flight) const override {
+    return peer_in_flight < cap_;
+  }
+
+ private:
+  size_t cap_;
+};
+
+}  // namespace
+
+double AdmissionPolicy::QueueTimeoutMs() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+const std::vector<std::string>& AdmissionCatalog() {
+  static const std::vector<std::string> kCatalog = {
+      "none", "drop-tail", "timeout", "peer-cap"};
+  return kCatalog;
+}
+
+Result<AdmissionPolicyPtr> MakeAdmissionPolicy(
+    const std::string& name, const AdmissionOptions& options) {
+  if (name == "none") return AdmissionPolicyPtr(new AdmitAll());
+  if (name == "drop-tail") {
+    return AdmissionPolicyPtr(new DropTail(options.queue_capacity));
+  }
+  if (name == "timeout") {
+    return AdmissionPolicyPtr(new TimeoutShed(options.timeout_ms));
+  }
+  if (name == "peer-cap") {
+    return AdmissionPolicyPtr(new PeerCap(options.per_peer_cap));
+  }
+  std::string known;
+  for (const std::string& entry : AdmissionCatalog()) {
+    known += known.empty() ? entry : StrCat("|", entry);
+  }
+  return Status::Error(
+      StrCat("unknown admission policy '", name, "' (want ", known, ")"));
+}
+
+}  // namespace oscar

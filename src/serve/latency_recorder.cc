@@ -1,0 +1,28 @@
+#include "serve/latency_recorder.h"
+
+#include <algorithm>
+
+namespace oscar {
+
+LatencyRecorder::LatencyRecorder(size_t shards)
+    : shards_(std::max<size_t>(1, shards)) {}
+
+LogHistogram LatencyRecorder::Merged() const {
+  LogHistogram merged;
+  for (const LogHistogram& shard : shards_) merged.Merge(shard);
+  return merged;
+}
+
+LatencyReport LatencyRecorder::Summarize(const LogHistogram& hist) {
+  LatencyReport report;
+  report.count = hist.Count();
+  report.mean_ms = hist.Mean();
+  report.p50_ms = hist.Percentile(50.0);
+  report.p90_ms = hist.Percentile(90.0);
+  report.p99_ms = hist.Percentile(99.0);
+  report.p999_ms = hist.Percentile(99.9);
+  report.max_ms = hist.Max();
+  return report;
+}
+
+}  // namespace oscar

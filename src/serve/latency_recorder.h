@@ -1,0 +1,58 @@
+// Thread-sharded latency accounting over common/stats' LogHistogram.
+// Each worker thread of a load-generation batch owns one histogram
+// shard (keyed by the dense worker index ParallelForWorkers hands out),
+// records into it lock-free, and the shards are merged afterwards.
+// Because a merge is an element-wise integer add over a fixed bucket
+// layout, the merged histogram — and every percentile read off it — is
+// identical no matter how the work-stealing pool scattered lookups
+// across workers. That is the property oscar_serve's cross-thread-count
+// byte-identical summary stands on.
+
+#ifndef OSCAR_SERVE_LATENCY_RECORDER_H_
+#define OSCAR_SERVE_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace oscar {
+
+/// Percentile digest of one merged histogram.
+struct LatencyReport {
+  uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class LatencyRecorder {
+ public:
+  /// One shard per worker; `shards` >= 1.
+  explicit LatencyRecorder(size_t shards);
+
+  /// The histogram owned by `worker`. Distinct workers may record
+  /// concurrently; a single shard must only ever be written by the one
+  /// thread that owns it.
+  LogHistogram& shard(size_t worker) { return shards_[worker]; }
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Element-wise sum of all shards (order-independent).
+  LogHistogram Merged() const;
+
+  /// Merged() reduced to the serving tail digest.
+  LatencyReport Report() const { return Summarize(Merged()); }
+
+  static LatencyReport Summarize(const LogHistogram& hist);
+
+ private:
+  std::vector<LogHistogram> shards_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_SERVE_LATENCY_RECORDER_H_

@@ -1,0 +1,289 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/network_view.h"
+#include "core/rng.h"
+#include "routing/csr_stepper.h"
+#include "serve/token_bucket.h"
+
+namespace oscar {
+namespace {
+
+// Counter-fork stream channels (Rng::Fork's `stream` argument): every
+// consumer gets its own channel so no draw in one phase can shift
+// another phase's stream.
+constexpr uint64_t kRouteStream = 0x10ad;
+constexpr uint64_t kHotKeyStream = 0x407;
+
+/// Zipf CDF over ranks 1..n: rank r with probability proportional to
+/// 1/r^s (same construction as the scenario catalog's hot-key law).
+std::vector<double> ZipfCdf(size_t n, double exponent) {
+  std::vector<double> cdf;
+  cdf.reserve(n);
+  double total = 0.0;
+  for (size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), exponent);
+    cdf.push_back(total);
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(const TopologySnapshot& snapshot,
+                             ServeOptions options)
+    : snapshot_(snapshot), options_(std::move(options)) {}
+
+Status LoadGenerator::RoutePhase(ServeReport* report) {
+  const Ring& ring = snapshot_.ring();
+  const size_t alive = ring.size();
+  const NetworkView view(snapshot_);
+
+  // Hot-key set: keys of randomly drawn alive peers (with replacement —
+  // a duplicate just merges two popularity ranks onto one owner), so
+  // every hot key has a concrete owner whose in-flight gauge the
+  // peer-cap policy can saturate.
+  std::vector<KeyId> hot_keys;
+  std::vector<double> hot_cdf;
+  if (options_.hot_keys > 0) {
+    Rng hot_rng = Rng::Fork(options_.seed, kHotKeyStream, 0);
+    hot_keys.reserve(options_.hot_keys);
+    for (size_t i = 0; i < options_.hot_keys; ++i) {
+      const size_t pick = hot_rng.UniformInt(alive);
+      hot_keys.push_back(KeyId::FromRaw(ring.entries()[pick].key_raw));
+    }
+    hot_cdf = ZipfCdf(hot_keys.size(), options_.zipf_exponent);
+  }
+
+  routed_.assign(options_.lookups, RoutedLookup{});
+  const uint32_t threads = std::max(1u, options_.threads);
+  LatencyRecorder recorder(threads);
+  // One stepper per worker: Start() resets route state but keeps the
+  // neighbor scratch allocation warm across the worker's lookups.
+  std::vector<CsrGreedyStepper> steppers(threads);
+  const size_t max_steps = 4 * alive + 16;
+
+  PoolGauge gauge;
+  const auto wall_start = std::chrono::steady_clock::now();
+  ParallelForWorkers(
+      threads, options_.lookups,
+      [&](uint32_t worker, size_t i) {
+        // Each lookup draws from its own counter-forked stream, so the
+        // (source, key) pair is a pure function of (seed, i) no matter
+        // which worker claims the index or in what order.
+        Rng rng = Rng::Fork(options_.seed, kRouteStream, i);
+        const PeerId source =
+            ring.entries()[rng.UniformInt(alive)].id;
+        KeyId key;
+        if (hot_keys.empty()) {
+          key = KeyId::FromRaw(rng.Next());
+        } else {
+          const double u = rng.NextDouble();
+          const auto it =
+              std::upper_bound(hot_cdf.begin(), hot_cdf.end(), u);
+          const size_t rank = std::min(
+              static_cast<size_t>(it - hot_cdf.begin()),
+              hot_keys.size() - 1);
+          key = hot_keys[rank];
+        }
+
+        CsrGreedyStepper& stepper = steppers[worker];
+        stepper.Start(view, source, key);
+        for (size_t step = 0; step < max_steps && !stepper.done(); ++step) {
+          stepper.Step(view);
+        }
+        if (!stepper.done()) stepper.Abandon(view);
+
+        RoutedLookup& out = routed_[i];
+        const RouteResult& result = stepper.result();
+        out.messages = result.hops + result.wasted;
+        out.success = result.success;
+        out.owner = snapshot_.OwnerOf(key).value_or(source);
+        recorder.shard(worker).Record(ServiceMs(out));
+      },
+      &gauge);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (gauge.Completed() != options_.lookups) {
+    return Status::Error("route phase lost lookups (pool bug)");
+  }
+
+  report->routed = options_.lookups;
+  report->route_wall_s = wall_s;
+  report->route_lookups_per_s =
+      wall_s > 0.0 ? static_cast<double>(options_.lookups) / wall_s : 0.0;
+
+  uint64_t total_messages = 0;
+  uint64_t total_service_messages = 0;
+  size_t successes = 0;
+  for (const RoutedLookup& lookup : routed_) {
+    total_messages += lookup.messages;
+    total_service_messages += lookup.messages == 0 ? 1 : lookup.messages;
+    if (lookup.success) ++successes;
+  }
+  const double n = static_cast<double>(options_.lookups);
+  report->mean_messages = static_cast<double>(total_messages) / n;
+  report->route_success_rate = static_cast<double>(successes) / n;
+  report->service = LatencyRecorder::Summarize(recorder.Merged());
+  // The merged histogram's float sum depends on how work stealing
+  // partitioned values across shards (float addition is not
+  // associative); recompute the mean from the integer message total so
+  // the summary stays byte-identical at any thread count.
+  report->service.mean_ms =
+      options_.hop_ms * static_cast<double>(total_service_messages) / n;
+  return Status::Ok();
+}
+
+ServeCellReport LoadGenerator::ServeCell(
+    double offered_per_s, const AdmissionPolicy& policy,
+    const std::vector<double>& arrivals_ms) const {
+  ServeCellReport cell;
+  cell.offered_per_s = std::max(0.0, offered_per_s);
+  cell.policy = policy.name();
+  cell.submitted = arrivals_ms.size();
+
+  struct Queued {
+    double arrival_ms;
+    size_t index;
+  };
+  struct Completion {
+    double finish_ms;
+    uint64_t seq;  // Start order: deterministic tie-break on finish.
+    size_t index;
+    bool operator>(const Completion& other) const {
+      return finish_ms != other.finish_ms ? finish_ms > other.finish_ms
+                                          : seq > other.seq;
+    }
+  };
+
+  std::deque<Queued> queue;
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      in_service;
+  std::vector<uint32_t> owner_in_flight(snapshot_.size(), 0);
+  const double timeout_ms = policy.QueueTimeoutMs();
+  size_t free_slots = std::max<size_t>(1, options_.concurrency);
+  LogHistogram latency;
+  uint64_t start_seq = 0;
+  double last_finish_ms = 0.0;
+
+  // Starts service for `index` at `now_ms`; the end-to-end latency is
+  // known immediately (queue wait + service time) — the completion
+  // event only exists to free the slot and the owner gauge later.
+  const auto start_service = [&](size_t index, double arrival_ms,
+                                 double now_ms) {
+    const double service_ms = ServiceMs(routed_[index]);
+    const double finish_ms = now_ms + service_ms;
+    in_service.push(Completion{finish_ms, start_seq++, index});
+    --free_slots;
+    latency.Record(now_ms - arrival_ms + service_ms);
+    ++cell.completed;
+    if (routed_[index].success) ++cell.succeeded;
+    last_finish_ms = std::max(last_finish_ms, finish_ms);
+  };
+
+  // Frees one slot at `now_ms`, then refills it from the queue head,
+  // shedding entries whose wait exceeded the policy deadline.
+  const auto refill_from_queue = [&](double now_ms) {
+    while (free_slots > 0 && !queue.empty()) {
+      const Queued head = queue.front();
+      queue.pop_front();
+      if (now_ms - head.arrival_ms > timeout_ms) {
+        ++cell.shed;
+        --owner_in_flight[routed_[head.index].owner];
+        continue;
+      }
+      start_service(head.index, head.arrival_ms, now_ms);
+    }
+  };
+
+  const auto complete_until = [&](double now_ms) {
+    while (!in_service.empty() && in_service.top().finish_ms <= now_ms) {
+      const Completion done = in_service.top();
+      in_service.pop();
+      ++free_slots;
+      --owner_in_flight[routed_[done.index].owner];
+      refill_from_queue(done.finish_ms);
+    }
+  };
+
+  for (size_t i = 0; i < arrivals_ms.size(); ++i) {
+    const double now_ms = arrivals_ms[i];
+    complete_until(now_ms);
+    const PeerId owner = routed_[i].owner;
+    if (!policy.Admit(queue.size(), owner_in_flight[owner])) {
+      ++cell.dropped;
+      continue;
+    }
+    ++cell.admitted;
+    ++owner_in_flight[owner];
+    if (free_slots > 0 && queue.empty()) {
+      start_service(i, now_ms, now_ms);
+    } else {
+      queue.push_back(Queued{now_ms, i});
+      cell.queue_peak =
+          std::max(cell.queue_peak, static_cast<double>(queue.size()));
+    }
+  }
+  complete_until(std::numeric_limits<double>::infinity());
+
+  const double first_ms = arrivals_ms.empty() ? 0.0 : arrivals_ms.front();
+  const double span_ms = last_finish_ms - first_ms;
+  cell.achieved_per_s =
+      span_ms > 0.0
+          ? static_cast<double>(cell.completed) / span_ms * 1000.0
+          : 0.0;
+  cell.latency = LatencyRecorder::Summarize(latency);
+  return cell;
+}
+
+Result<ServeReport> LoadGenerator::Run() {
+  if (snapshot_.alive_count() == 0) {
+    return Status::Error("serve: snapshot has no alive peers");
+  }
+  if (options_.lookups == 0) {
+    return Status::Error("serve: lookups must be positive");
+  }
+  if (options_.offered_rates_per_s.empty()) {
+    return Status::Error("serve: at least one offered rate required");
+  }
+  if (options_.policies.empty()) {
+    return Status::Error("serve: at least one admission policy required");
+  }
+  std::vector<AdmissionPolicyPtr> policies;
+  policies.reserve(options_.policies.size());
+  for (const std::string& name : options_.policies) {
+    auto policy = MakeAdmissionPolicy(name, options_.admission);
+    if (!policy.ok()) return policy.status();
+    policies.push_back(std::move(policy).value());
+  }
+
+  ServeReport report;
+  Status routed = RoutePhase(&report);
+  if (!routed.ok()) return routed;
+
+  for (double rate : options_.offered_rates_per_s) {
+    // One arrival schedule per rate, shared by every policy in the
+    // cell row: policies are compared on literally identical traffic.
+    const std::vector<double> arrivals = GenerateArrivalsMs(
+        options_.lookups, rate, options_.burst, options_.seed);
+    for (const AdmissionPolicyPtr& policy : policies) {
+      report.cells.push_back(ServeCell(rate, *policy, arrivals));
+      report.total_submitted += report.cells.back().submitted;
+    }
+  }
+  return report;
+}
+
+}  // namespace oscar

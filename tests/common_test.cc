@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace oscar {
 namespace {
@@ -72,6 +75,103 @@ TEST(StatsTest, PearsonCorrelation) {
   EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
   EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
   EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(LogHistogramTest, ExactMomentsApproximatePercentiles) {
+  LogHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_EQ(hist.Count(), 1000u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 500.5);  // Sum is exact, not bucketed.
+  EXPECT_DOUBLE_EQ(hist.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Max(), 1000.0);
+  // Buckets are ~2.2% wide; percentiles must land inside one bucket.
+  EXPECT_NEAR(hist.Percentile(50), 500.0, 500.0 * 0.03);
+  EXPECT_NEAR(hist.Percentile(90), 900.0, 900.0 * 0.03);
+  EXPECT_NEAR(hist.Percentile(99), 990.0, 990.0 * 0.03);
+  // The extremes are exact: clamped to the recorded min/max.
+  EXPECT_DOUBLE_EQ(hist.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100), 1000.0);
+}
+
+TEST(LogHistogramTest, EmptyHistogramIsAllZero) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50), 0.0);
+}
+
+TEST(LogHistogramTest, OutOfRangeValuesClampButCount) {
+  LogHistogram hist;
+  hist.Record(0.0);                          // Below kMinValue.
+  hist.Record(LogHistogram::kMaxValue * 8);  // Above kMaxValue.
+  EXPECT_EQ(hist.Count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100), LogHistogram::kMaxValue * 8);
+}
+
+TEST(LogHistogramTest, MergeIsOrderIndependentAndLossless) {
+  LogHistogram a, b, whole;
+  for (int i = 1; i <= 500; ++i) {
+    a.Record(static_cast<double>(i));
+    whole.Record(static_cast<double>(i));
+  }
+  for (int i = 501; i <= 1000; ++i) {
+    b.Record(static_cast<double>(i));
+    whole.Record(static_cast<double>(i));
+  }
+  LogHistogram ab = a, ba = b;
+  ab.Merge(b);
+  ba.Merge(a);
+  for (LogHistogram* merged : {&ab, &ba}) {
+    EXPECT_EQ(merged->Count(), whole.Count());
+    EXPECT_DOUBLE_EQ(merged->Mean(), whole.Mean());
+    EXPECT_DOUBLE_EQ(merged->Percentile(50), whole.Percentile(50));
+    EXPECT_DOUBLE_EQ(merged->Percentile(99), whole.Percentile(99));
+    EXPECT_DOUBLE_EQ(merged->Max(), whole.Max());
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWorkersCoversEveryIndexOnce) {
+  const size_t count = 10000;
+  std::vector<std::atomic<uint32_t>> hits(count);
+  std::vector<std::atomic<uint64_t>> per_worker_sum(4);
+  PoolGauge gauge;
+  ParallelForWorkers(
+      4, count,
+      [&](uint32_t worker, size_t i) {
+        ASSERT_LT(worker, 4u);
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        per_worker_sum[worker].fetch_add(i, std::memory_order_relaxed);
+      },
+      &gauge);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+  // Worker-sharded accumulators merge to the full reduction: the
+  // pattern serve/latency_recorder keys on.
+  uint64_t total = 0;
+  for (auto& sum : per_worker_sum) total += sum.load();
+  EXPECT_EQ(total, static_cast<uint64_t>(count) * (count - 1) / 2);
+}
+
+TEST(ThreadPoolTest, PoolGaugeDrainsToZero) {
+  PoolGauge gauge;
+  ParallelForWorkers(3, 257, [](uint32_t, size_t) {}, &gauge);
+  EXPECT_EQ(gauge.total(), 257u);
+  EXPECT_EQ(gauge.Dispatched(), 257u);
+  EXPECT_EQ(gauge.Completed(), 257u);
+  EXPECT_EQ(gauge.InFlight(), 0u);
+  EXPECT_EQ(gauge.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, PoolGaugeResetBetweenBatches) {
+  PoolGauge gauge;
+  ParallelForWorkers(2, 100, [](uint32_t, size_t) {}, &gauge);
+  ParallelForWorkers(2, 40, [](uint32_t, size_t) {}, &gauge);
+  EXPECT_EQ(gauge.total(), 40u);
+  EXPECT_EQ(gauge.Completed(), 40u);
+  EXPECT_EQ(gauge.QueueDepth(), 0u);
 }
 
 TEST(TablePrinterTest, AlignsColumnsAndPrintsTitle) {

@@ -17,9 +17,33 @@
 #include <chrono>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/thread_pool.h"
 #include "core/experiments.h"
 #include "core/simulation.h"
+
+namespace {
+
+// Process peak RSS in KiB (0 where getrusage is unavailable). Linux
+// reports ru_maxrss in KiB already; macOS reports bytes.
+long PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;
+#else
+  return usage.ru_maxrss;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 int main() {
   using namespace oscar;
@@ -61,8 +85,8 @@ int main() {
   std::printf(
       "{\"size\": %zu, \"threads\": %u, \"checkpoints\": %zu, "
       "\"rewire_ms_total\": %.1f, \"rewire_ms_per_checkpoint\": %.1f, "
-      "\"growth_ms_total\": %.1f}\n",
+      "\"growth_ms_total\": %.1f, \"peak_rss_kb\": %ld}\n",
       sim.network().alive_count(), threads, result.rewire_count,
-      result.rewire_wall_ms, per_checkpoint, total_ms);
+      result.rewire_wall_ms, per_checkpoint, total_ms, PeakRssKb());
   return 0;
 }
