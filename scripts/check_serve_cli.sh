@@ -65,6 +65,11 @@ expect_reject "zero --queue-cap"          --queue-cap=0
 expect_reject "zero --peer-cap"           --peer-cap=0
 expect_reject "non-numeric --hot-keys"    --hot-keys=lots
 expect_reject "negative --zipf"           --zipf=-1.1
+expect_reject "empty --trace-file= value" --trace-file=
+expect_reject "duplicate --trace-file"    --trace-file=a.csv --trace-file=b.csv
+expect_reject "bogus --trace-format"      --trace-file=a --trace-format=xml
+expect_reject "--trace-format alone"      --trace-format=csv
+expect_reject "negative --queue-cadence-ms" --queue-cadence-ms=-1
 
 expect_ok "--help exits 0"           --help
 expect_ok "--list-policies exits 0"  --list-policies

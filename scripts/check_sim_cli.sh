@@ -49,6 +49,11 @@ expect_reject "comma-only --scenarios"          --scenarios=,,
 expect_reject "empty --trace-file= value"       --trace-file=
 expect_reject "missing --trace-file value"      --trace-file
 expect_reject "duplicate --trace-file"          --trace-file=a.csv --trace-file=b.csv
+expect_reject "bogus --trace-format"            --trace-file=a --trace-format=xml
+expect_reject "missing --trace-format value"    --trace-file=a --trace-format
+expect_reject "--trace-format without file"     --trace-format=otrace
+expect_reject "negative --queue-cadence-ms"     --queue-cadence-ms=-1
+expect_reject "non-numeric --queue-cadence-ms"  --queue-cadence-ms=soon
 expect_reject "unknown flag"                    --frobnicate
 expect_reject "unknown scenario"                no-such-scenario
 expect_reject "unknown scenario after valid"    baseline no-such-scenario

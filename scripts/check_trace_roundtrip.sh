@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Binary-trace contract test, run under ctest:
+#
+#  1. `.otrace` bytes from both CLIs are identical at OSCAR_THREADS=1
+#     vs 4 and across repeated runs, for seeds 42-45 (the trace rides
+#     the same virtual-time determinism the summaries already promise).
+#  2. `oscar_trace --csv` on a binary trace reproduces the direct CSV
+#     sink's bytes exactly — the columnar encoding loses nothing.
+#  3. The CSV carries `scenario` as a proper column: exactly one header
+#     line, no `# scenario=` comment interleaving.
+#  4. A truncated `.otrace` is rejected (exit 2), and the default
+#     summary/heatmap mode succeeds on a good file.
+#
+#   scripts/check_trace_roundtrip.sh oscar_sim oscar_trace oscar_serve
+#
+# Everything runs at smoke scale; the script pins its own env.
+
+set -u
+
+sim="${1:?usage: check_trace_roundtrip.sh oscar_sim oscar_trace oscar_serve}"
+tracer="${2:?missing oscar_trace path}"
+serve="${3:?missing oscar_serve path}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+export OSCAR_BENCH_SIZE=200 OSCAR_BENCH_QUERIES=120
+unset OSCAR_BENCH_SCALE 2>/dev/null || true
+
+scenarios=(baseline rolling-churn)
+fail=0
+
+run_sim() {  # seed threads outfile extra-args...
+  local seed="$1" threads="$2" out="$3"
+  shift 3
+  if ! OSCAR_BENCH_SEED="${seed}" OSCAR_THREADS="${threads}" \
+       "${sim}" "${scenarios[@]}" --trace-file "${out}" "$@" \
+       >/dev/null 2>&1; then
+    echo "FAIL oscar_sim seed=${seed} threads=${threads}: nonzero exit" >&2
+    fail=1
+  fi
+}
+
+# --- 1. thread- and run-invariance of the binary trace (sim) ---------
+for seed in 42 43 44 45; do
+  run_sim "${seed}" 1 "${workdir}/s${seed}_t1.otrace"
+  run_sim "${seed}" 4 "${workdir}/s${seed}_t4.otrace"
+  if ! cmp -s "${workdir}/s${seed}_t1.otrace" "${workdir}/s${seed}_t4.otrace"; then
+    echo "FAIL seed=${seed}: .otrace differs between OSCAR_THREADS=1 and 4" >&2
+    fail=1
+  fi
+done
+run_sim 42 1 "${workdir}/s42_repeat.otrace"
+if ! cmp -s "${workdir}/s42_t1.otrace" "${workdir}/s42_repeat.otrace"; then
+  echo "FAIL: repeated seed=42 runs produced different .otrace bytes" >&2
+  fail=1
+fi
+# Different seeds must diverge or the checks above measure nothing.
+if cmp -s "${workdir}/s42_t1.otrace" "${workdir}/s43_t1.otrace"; then
+  echo "FAIL: seeds 42 and 43 produced identical .otrace bytes" >&2
+  fail=1
+fi
+
+# --- 2. binary -> CSV replay == direct CSV sink (sim) ----------------
+run_sim 42 1 "${workdir}/direct.csv"
+if ! "${tracer}" "${workdir}/s42_t1.otrace" --csv > "${workdir}/replay.csv" \
+     2>/dev/null; then
+  echo "FAIL: oscar_trace --csv exited nonzero" >&2
+  fail=1
+fi
+if ! cmp -s "${workdir}/direct.csv" "${workdir}/replay.csv"; then
+  echo "FAIL: oscar_trace --csv differs from the direct CSV sink" >&2
+  diff "${workdir}/direct.csv" "${workdir}/replay.csv" | head -10 >&2
+  fail=1
+fi
+
+# --- 3. scenario is a column; header exactly once; no comments -------
+header='t_ms,scenario,event,lookup,peer,to,info'
+if [[ "$(head -1 "${workdir}/direct.csv")" != "${header}" ]]; then
+  echo "FAIL: CSV does not start with the ${header} header" >&2
+  fail=1
+fi
+if [[ "$(grep -cFx "${header}" "${workdir}/direct.csv")" -ne 1 ]]; then
+  echo "FAIL: CSV header appears more than once" >&2
+  fail=1
+fi
+if grep -q '^#' "${workdir}/direct.csv"; then
+  echo "FAIL: CSV still interleaves # comment lines" >&2
+  fail=1
+fi
+for scenario in "${scenarios[@]}"; do
+  if ! grep -q ",${scenario}," "${workdir}/direct.csv"; then
+    echo "FAIL: no rows tagged with scenario '${scenario}'" >&2
+    fail=1
+  fi
+done
+
+# --- 4. serve traces: same invariants over the sweep timelines -------
+serve_args=(--lookups=4000 --rates=0,4000)
+for threads in 1 4; do
+  if ! OSCAR_BENCH_SEED=42 OSCAR_THREADS="${threads}" \
+       "${serve}" "${serve_args[@]}" \
+       "--trace-file=${workdir}/serve_t${threads}.otrace" \
+       >/dev/null 2>&1; then
+    echo "FAIL oscar_serve threads=${threads}: nonzero exit" >&2
+    fail=1
+  fi
+done
+if ! cmp -s "${workdir}/serve_t1.otrace" "${workdir}/serve_t4.otrace"; then
+  echo "FAIL: serve .otrace differs between OSCAR_THREADS=1 and 4" >&2
+  fail=1
+fi
+if ! OSCAR_BENCH_SEED=42 OSCAR_THREADS=1 \
+     "${serve}" "${serve_args[@]}" \
+     "--trace-file=${workdir}/serve_direct.csv" >/dev/null 2>&1; then
+  echo "FAIL oscar_serve csv trace: nonzero exit" >&2
+  fail=1
+fi
+"${tracer}" "${workdir}/serve_t1.otrace" --csv > "${workdir}/serve_replay.csv" \
+  2>/dev/null || { echo "FAIL: oscar_trace --csv (serve) nonzero exit" >&2; fail=1; }
+if ! cmp -s "${workdir}/serve_direct.csv" "${workdir}/serve_replay.csv"; then
+  echo "FAIL: serve CSV replay differs from the direct CSV sink" >&2
+  fail=1
+fi
+
+# --- 5. analyzer smoke + corruption rejection ------------------------
+if ! "${tracer}" "${workdir}/s42_t1.otrace" > "${workdir}/summary.txt" 2>&1; then
+  echo "FAIL: oscar_trace summary mode exited nonzero" >&2
+  fail=1
+fi
+if ! grep -q '^heatmap:' "${workdir}/summary.txt"; then
+  echo "FAIL: summary output has no heatmap" >&2
+  fail=1
+fi
+head -c 64 "${workdir}/s42_t1.otrace" > "${workdir}/truncated.otrace"
+"${tracer}" "${workdir}/truncated.otrace" >/dev/null 2>&1
+if [[ $? -ne 2 ]]; then
+  echo "FAIL: truncated .otrace not rejected with exit 2" >&2
+  fail=1
+fi
+
+if [[ "${fail}" -eq 0 ]]; then
+  echo "check_trace_roundtrip: byte-stable across threads/runs, CSV round trip exact"
+fi
+exit "${fail}"

@@ -12,9 +12,13 @@ time grew by more than the threshold (default +10%). Exit codes:
     1  at least one regression flagged
     2  unusable input (missing file, wrong schema)
 
-CI runs this as a NON-FATAL report step (the committed repo-root
-artifact vs the fresh build's), so a noisy runner annotates the log
-instead of failing the build; locally it is a quick before/after probe:
+With --serve-gate, the exit code reflects ONLY the serve firehose's
+route_lookups_per_s: exit 1 when it dropped by more than the threshold
+(default 10%), 0 otherwise — wall-time rows are still printed but
+never fatal. The route phase is pure in-memory CSR arithmetic over a
+shared worker pool, far less runner-noisy than harness walls, so CI
+runs the gate FATALLY while keeping the full diff as the usual
+non-fatal report step. Locally it is a quick before/after probe:
 
     OSCAR_BENCH_OUT=BENCH_before.json scripts/run_benches.sh build
     ... make changes, rebuild ...
@@ -61,6 +65,12 @@ def serve_section(doc):
     return serve if isinstance(serve, dict) else None
 
 
+def trace_section(doc):
+    # One object or null/absent (pre-PR7 artifacts, or a failed probe).
+    trace = doc.get("trace")
+    return trace if isinstance(trace, dict) else None
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two run_benches perf artifacts.")
@@ -69,6 +79,10 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="flag growth above this fraction "
                              "(default 0.10 = +10%%)")
+    parser.add_argument("--serve-gate", action="store_true",
+                        help="exit code reflects only a serve "
+                             "route_lookups_per_s drop over the "
+                             "threshold (CI's fatal check)")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -138,6 +152,7 @@ def main():
             print(f"{'threads=' + str(threads):<34} {b:>10.1f} {c:>10.1f} "
                   f"{delta:>+7.1%}{marker}")
 
+    serve_regressions = []
     base_s, curr_s = serve_section(base), serve_section(curr)
     if curr_s:
         print(f"\n{'serve firehose':<34} {'base':>10} {'curr':>10} "
@@ -156,6 +171,8 @@ def main():
                 marker = "  << REGRESSION"
                 regressions.append(("serve.route_lookups_per_s",
                                     b, c, delta))
+                serve_regressions.append(("serve.route_lookups_per_s",
+                                          b, c, delta))
             print(f"{'route_lookups_per_s':<34} {b:>10.0f} {c:>10.0f} "
                   f"{delta:>+7.1%}{marker}")
         base_cells = {} if base_s is None else {
@@ -175,6 +192,40 @@ def main():
             # the diff but never flag it — a changed service model is a
             # code change to review, not a runner-noise regression.
             print(f"{label:<34} {b:>10.2f} {c:>10.2f} {delta:>+7.1%}")
+
+    base_t, curr_t = trace_section(base), trace_section(curr)
+    if curr_t:
+        # Informational only: attached-sink overhead is a price the user
+        # opts into with --trace-file, not a regression to gate on.
+        print(f"\n{'trace probe (' + curr_t.get('probe', '?') + ')':<40}")
+        d, a = curr_t.get("detached_run_s", 0.0), curr_t.get(
+            "otrace_run_s", 0.0)
+        overhead = (a - d) / d if d > 0 else 0.0
+        print(f"{'  detached_run_s':<34} {d:>10.3f}")
+        print(f"{'  otrace_run_s':<34} {a:>10.3f} ({overhead:+.1%} attached)")
+        print(f"{'  otrace_bytes':<34} {curr_t.get('otrace_bytes', 0):>10}")
+        if base_t:
+            bd = base_t.get("detached_run_s", 0.0)
+            delta = (d - bd) / bd if bd > 0 else 0.0
+            print(f"{'  detached vs baseline':<34} {bd:>10.3f} "
+                  f"{d:>10.3f} {delta:>+7.1%}")
+
+    if args.serve_gate:
+        if serve_regressions:
+            print(f"\ncompare_benches: serve gate FAILED "
+                  f"(route_lookups_per_s drop over {args.threshold:.0%}):",
+                  file=sys.stderr)
+            for name, b, c, delta in serve_regressions:
+                print(f"  {name}: {b:.0f} -> {c:.0f} ({delta:+.1%})",
+                      file=sys.stderr)
+            return 1
+        if curr_s is None or base_s is None:
+            print("\ncompare_benches: serve gate: no serve section to "
+                  "compare (pass)")
+        else:
+            print(f"\ncompare_benches: serve gate OK "
+                  f"(route throughput within -{args.threshold:.0%})")
+        return 0
 
     if regressions:
         print(f"\ncompare_benches: {len(regressions)} regression(s) over "

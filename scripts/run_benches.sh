@@ -11,11 +11,12 @@
 # harnesses.
 #
 # Side effect: writes ${build_dir}/${OSCAR_BENCH_OUT} (default
-# BENCH_pr6.json) — per-harness wall time, micro_core benchmark
+# BENCH_pr7.json) — per-harness wall time, micro_core benchmark
 # numbers, the growth_probe checkpoint-rewiring wall times (plus peak
-# RSS) at 1 and OSCAR_PROBE_THREADS (default 4) worker threads, and the
+# RSS) at 1 and OSCAR_PROBE_THREADS (default 4) worker threads, the
 # oscar_serve firehose sweep (route-phase lookups/s + the rate x policy
-# cells) — the perf-trajectory artifact CI uploads per run — and copies
+# cells), and the trace-overhead probe (detached vs columnar-attached
+# scenario walls) — the perf-trajectory artifact CI uploads per run — and copies
 # it to the repo root so the trajectory is comparable across commits
 # (scripts/compare_benches.py diffs two of them). The JSON is
 # informational; the gate is still the exit codes and VIOLATED grep.
@@ -30,7 +31,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 # committed one. A malformed name is an error, not a silent fallback —
 # falling back to the default would overwrite the committed baseline
 # and corrupt the A/B flow documented in compare_benches.py.
-artifact="${OSCAR_BENCH_OUT:-BENCH_pr6.json}"
+artifact="${OSCAR_BENCH_OUT:-BENCH_pr7.json}"
 if [[ ! "${artifact}" =~ ^[A-Za-z0-9._-]+$ ]]; then
   echo "run_benches: invalid OSCAR_BENCH_OUT '${artifact}'" \
        "(want a bare file name, [A-Za-z0-9._-]+)" >&2
@@ -148,6 +149,33 @@ if [[ -x "${build_dir}/oscar_serve" ]]; then
   fi
 fi
 
+# Trace-overhead probe: the same message-level workload once with no
+# sink (the detached path is one branch per would-be event) and once
+# streaming a columnar `.otrace`. Both walls are the CLI's own
+# scenario-run time (growth excluded, parsed from the stderr timing
+# line), so the delta isolates the emission path. Informational — the
+# compare script prints it but never flags it.
+trace_row="null"
+if [[ -x "${build_dir}/oscar_sim" ]]; then
+  probe_run_s() {  # extra args... -> scenario-run seconds or ""
+    OSCAR_BENCH_SIZE=1000 OSCAR_BENCH_QUERIES=20000 OSCAR_BENCH_SEED=42 \
+      "${build_dir}/oscar_sim" baseline flash-crowd "$@" 2>&1 >/dev/null |
+      sed -n 's/.* run=\([0-9.]*\)s$/\1/p'
+  }
+  trace_otrace="${build_dir}/trace_probe.otrace"
+  detached_s=$(probe_run_s)
+  attached_s=$(probe_run_s --trace-file "${trace_otrace}")
+  if [[ -n "${detached_s}" && -n "${attached_s}" && -s "${trace_otrace}" ]]; then
+    otrace_bytes=$(wc -c < "${trace_otrace}")
+    trace_row="{\"probe\": \"baseline+flash-crowd n=1000 q=20000\", \
+\"detached_run_s\": ${detached_s}, \"otrace_run_s\": ${attached_s}, \
+\"otrace_bytes\": ${otrace_bytes}}"
+  else
+    echo "run_benches: trace-overhead probe failed" >&2
+  fi
+  rm -f "${trace_otrace}"
+fi
+
 # Mirror the harnesses' EnvOrDefault semantics: a non-integer seed
 # falls back to the default instead of corrupting the JSON.
 seed="${OSCAR_BENCH_SEED:-42}"
@@ -181,7 +209,8 @@ scale="${OSCAR_BENCH_SCALE:-small}"
     echo "${row}"
   done
   echo "  ],"
-  echo "  \"serve\": ${serve_row}"
+  echo "  \"serve\": ${serve_row},"
+  echo "  \"trace\": ${trace_row}"
   echo "}"
 } > "${json}"
 

@@ -8,6 +8,7 @@
 #include <queue>
 #include <utility>
 
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/network_view.h"
 #include "core/rng.h"
@@ -173,10 +174,46 @@ ServeCellReport LoadGenerator::ServeCell(
       in_service;
   std::vector<uint32_t> owner_in_flight(snapshot_.size(), 0);
   const double timeout_ms = policy.QueueTimeoutMs();
-  size_t free_slots = std::max<size_t>(1, options_.concurrency);
+  const size_t slots = std::max<size_t>(1, options_.concurrency);
+  size_t free_slots = slots;
   LogHistogram latency;
   uint64_t start_seq = 0;
   double last_finish_ms = 0.0;
+
+  // Per-cell admission/queue-depth timeline: three gauge events per
+  // cadence tick, under this cell's own scope. Sampling reads state
+  // only, so the sweep arithmetic (and its byte-determinism) is
+  // untouched whether or not a sink is attached.
+  TraceSink* const sink = options_.trace;
+  double last_sample_ms = 0.0;
+  bool sampled = false;
+  const auto sample = [&](double now_ms) {
+    TraceEvent depth;
+    depth.t_us = TraceTimeUs(now_ms);
+    depth.kind = TraceKind::kServeQueueDepth;
+    depth.info = static_cast<uint32_t>(queue.size());
+    sink->Append(depth);
+    TraceEvent busy;
+    busy.t_us = depth.t_us;
+    busy.kind = TraceKind::kServeInFlight;
+    busy.info = static_cast<uint32_t>(slots - free_slots);
+    sink->Append(busy);
+    TraceEvent refused;
+    refused.t_us = depth.t_us;
+    refused.kind = TraceKind::kServeDropped;
+    refused.info = static_cast<uint32_t>(cell.dropped);
+    refused.to = static_cast<uint32_t>(cell.shed);
+    sink->Append(refused);
+    last_sample_ms = now_ms;
+    sampled = true;
+  };
+  if (sink != nullptr) {
+    sink->SetScope(sink->Intern(StrCat(
+        "serve rate=",
+        cell.offered_per_s <= 0.0 ? std::string("off")
+                                  : FormatDouble(cell.offered_per_s, 0),
+        " policy=", cell.policy)));
+  }
 
   // Starts service for `index` at `now_ms`; the end-to-end latency is
   // known immediately (queue wait + service time) — the completion
@@ -221,6 +258,10 @@ ServeCellReport LoadGenerator::ServeCell(
   for (size_t i = 0; i < arrivals_ms.size(); ++i) {
     const double now_ms = arrivals_ms[i];
     complete_until(now_ms);
+    if (sink != nullptr &&
+        (!sampled || now_ms - last_sample_ms >= options_.trace_cadence_ms)) {
+      sample(now_ms);
+    }
     const PeerId owner = routed_[i].owner;
     if (!policy.Admit(queue.size(), owner_in_flight[owner])) {
       ++cell.dropped;
@@ -237,6 +278,8 @@ ServeCellReport LoadGenerator::ServeCell(
     }
   }
   complete_until(std::numeric_limits<double>::infinity());
+  // Closing sample: the drained state at the cell's last completion.
+  if (sink != nullptr) sample(last_finish_ms);
 
   const double first_ms = arrivals_ms.empty() ? 0.0 : arrivals_ms.front();
   const double span_ms = last_finish_ms - first_ms;

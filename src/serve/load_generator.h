@@ -39,6 +39,7 @@
 #include "core/topology_snapshot.h"
 #include "serve/admission.h"
 #include "serve/latency_recorder.h"
+#include "trace/trace.h"
 
 namespace oscar {
 
@@ -63,6 +64,17 @@ struct ServeOptions {
   // snapshot's alive peers, so each has a real owner to overload).
   size_t hot_keys = 0;
   double zipf_exponent = 1.1;
+
+  // Observability: with a sink attached, every sweep cell emits a
+  // virtual-time admission/queue-depth timeline — wait-queue depth,
+  // busy service slots, and cumulative dropped/shed counts sampled at
+  // least `trace_cadence_ms` of virtual time apart, each cell under its
+  // own "serve rate=<r> policy=<p>" scope. The sweep is sequential
+  // virtual-time arithmetic, so the trace inherits its byte-determinism
+  // across OSCAR_THREADS. Detached (nullptr) = zero events, one branch
+  // per arrival. The wall-clock-parallel route phase is never traced.
+  TraceSink* trace = nullptr;
+  double trace_cadence_ms = 10.0;
 };
 
 /// One (offered rate, policy) sweep cell. All fields are virtual-time

@@ -13,6 +13,43 @@ MessageSim::MessageSim(EventEngine* engine, Network* net,
   if (!MakeRouteStepper(options_.router).ok()) {
     options_.router = "backtracking";
   }
+  if (options_.trace != nullptr) {
+    string_adapter_ = std::make_unique<StringTraceSink>(options_.trace);
+    sinks_.push_back(string_adapter_.get());
+  }
+  if (options_.sink != nullptr) sinks_.push_back(options_.sink);
+}
+
+void MessageSim::ArmSampler() {
+  if (sampler_armed_ || sinks_.empty() ||
+      options_.queue_depth_cadence_ms <= 0.0) {
+    return;
+  }
+  sampler_armed_ = true;
+  engine_->ScheduleAfter(options_.queue_depth_cadence_ms,
+                         [this] { SampleTimelines(); });
+}
+
+void MessageSim::SampleTimelines() {
+  Emit(TraceKind::kInFlight, kTraceNone, kTraceNone,
+       static_cast<uint32_t>(backlog_.size()),
+       static_cast<uint32_t>(active_));
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    const size_t depth = peers_[peer].queue.size();
+    if (depth > 0) {
+      Emit(TraceKind::kQueueDepth, kTraceNone, peer, kTraceNone,
+           static_cast<uint32_t>(depth));
+    }
+  }
+  // Keep ticking only while lookups are live — a free-running sampler
+  // would keep the event queue nonempty forever. Re-armed on the next
+  // admission otherwise.
+  if (active_ > 0 || !backlog_.empty()) {
+    engine_->ScheduleAfter(options_.queue_depth_cadence_ms,
+                           [this] { SampleTimelines(); });
+  } else {
+    sampler_armed_ = false;
+  }
 }
 
 uint64_t MessageSim::SubmitLookupAt(SimTime at, PeerId source, KeyId target) {
@@ -29,10 +66,10 @@ uint64_t MessageSim::SubmitLookupAt(SimTime at, PeerId source, KeyId target) {
 
 void MessageSim::Admit(uint64_t id) {
   outcomes_[id].submitted_ms = engine_->now();
+  ArmSampler();
   if (active_ >= options_.max_in_flight) {
     backlog_.push_back(id);
-    Trace("lookup=", id, " backlogged");
-    Csv("backlog", id, outcomes_[id].source, kNoPeer, 0);
+    Emit(TraceKind::kBacklog, id, outcomes_[id].source, kTraceNone, 0);
     return;
   }
   Activate(id);
@@ -44,8 +81,7 @@ void MessageSim::Activate(uint64_t id) {
   Lookup& lookup = lookups_[id];
   lookup.stepper = std::move(MakeRouteStepper(options_.router)).value();
   lookup.stepper->Start(*net_, outcomes_[id].source, outcomes_[id].target);
-  Trace("lookup=", id, " start src=", outcomes_[id].source);
-  Csv("start", id, outcomes_[id].source, kNoPeer, 0);
+  Emit(TraceKind::kStart, id, outcomes_[id].source, kTraceNone, 0);
   if (lookup.stepper->done()) {  // Dead source or empty ring.
     Finish(id);
     return;
@@ -89,17 +125,6 @@ double MessageSim::ServiceMsFor(PeerId peer) const {
              : options_.service_ms;
 }
 
-void MessageSim::Csv(const char* event, uint64_t id, int64_t a, int64_t b,
-                     uint64_t info) {
-  if (options_.trace_csv == nullptr) return;
-  std::ostream& out = *options_.trace_csv;
-  out << FormatDouble(engine_->now(), 3) << ',' << event << ',' << id << ',';
-  if (a >= 0) out << a;
-  out << ',';
-  if (b >= 0) out << b;
-  out << ',' << info << '\n';
-}
-
 void MessageSim::EndService(PeerId peer) {
   PeerState& state = peer_state(peer);
   const uint64_t id = state.queue.front();
@@ -109,8 +134,7 @@ void MessageSim::EndService(PeerId peer) {
   if (!net_->peer(peer).alive) {
     // The peer crashed with this message aboard. Nobody answers; the
     // upstream peer notices through its ack timeout.
-    Trace("lookup=", id, " stranded at dead peer=", peer);
-    Csv("stranded", id, peer, kNoPeer, 0);
+    Emit(TraceKind::kStranded, id, peer, kTraceNone, 0);
     engine_->ScheduleAfter(options_.timeout_ms,
                            [this, id] { HandleTimeout(id); });
     return;
@@ -148,11 +172,9 @@ void MessageSim::ProcessAt(uint64_t id, PeerId peer) {
               ? 0.0
               : static_cast<double>(step.dead_probes) *
                     options_.latency.timeout_ms;
-      Trace("lookup=", id,
-            step.kind == StepKind::kForward ? " fwd " : " back ", peer, "->",
-            step.to, " probes=", step.dead_probes);
-      Csv(step.kind == StepKind::kForward ? "fwd" : "back", id, peer,
-          step.to, step.dead_probes);
+      Emit(step.kind == StepKind::kForward ? TraceKind::kForward
+                                           : TraceKind::kBacktrack,
+           id, peer, step.to, step.dead_probes);
       Transmit(id, peer, step.to, probe_ms);
       return;
     }
@@ -176,8 +198,7 @@ void MessageSim::SendPending(uint64_t id, double extra_delay_ms) {
                     rng_->NextDouble() < options_.loss_rate;
   if (lost) {
     ++lost_messages_;
-    Trace("lookup=", id, " lost ->", to);
-    Csv("lost", id, lookup.pending_from, to, 0);
+    Emit(TraceKind::kLost, id, lookup.pending_from, to, 0);
     engine_->ScheduleAfter(extra_delay_ms + options_.timeout_ms,
                            [this, id] { HandleTimeout(id); });
     return;
@@ -212,9 +233,8 @@ void MessageSim::HandleTimeout(uint64_t id) {
       Finish(id);
       return;
     }
-    Trace("lookup=", id, " timeout dead=", lookup.pending_dest, " resume=",
-          stepper.current());
-    Csv("timeout_dead", id, lookup.pending_dest, stepper.current(), 0);
+    Emit(TraceKind::kTimeoutDead, id, lookup.pending_dest,
+         stepper.current(), 0);
     const PeerId resume = stepper.current();
     if (resume == lookup.pending_from) {
       // A failed forward: the query never left its sender, which now
@@ -230,9 +250,8 @@ void MessageSim::HandleTimeout(uint64_t id) {
   // The destination is alive: the transmission was lost. Resend until
   // the per-hop retry budget runs out.
   if (lookup.hop_attempts >= options_.max_retries) {
-    Trace("lookup=", id, " retries exhausted ->", lookup.pending_dest);
-    Csv("drop", id, lookup.pending_from, lookup.pending_dest,
-        lookup.hop_attempts);
+    Emit(TraceKind::kDrop, id, lookup.pending_from, lookup.pending_dest,
+         lookup.hop_attempts);
     stepper.Abandon(*net_);
     Finish(id);
     return;
@@ -240,10 +259,8 @@ void MessageSim::HandleTimeout(uint64_t id) {
   ++lookup.hop_attempts;
   ++retries_;
   ++outcomes_[id].retries;
-  Trace("lookup=", id, " retry#", lookup.hop_attempts, " ->",
-        lookup.pending_dest);
-  Csv("retry", id, lookup.pending_from, lookup.pending_dest,
-      lookup.hop_attempts);
+  Emit(TraceKind::kRetry, id, lookup.pending_from, lookup.pending_dest,
+       lookup.hop_attempts);
   SendPending(id, 0.0);
 }
 
@@ -259,10 +276,8 @@ void MessageSim::Finish(uint64_t id) {
   outcome.latency_ms = outcome.completed_ms - outcome.submitted_ms;
   concurrency_.Add(engine_->now(), -1);
   --active_;
-  Trace("lookup=", id, outcome.success ? " done" : " failed", " hops=",
-        outcome.hops, " wasted=", outcome.wasted);
-  Csv(outcome.success ? "done" : "failed", id, outcome.source, kNoPeer,
-      outcome.hops);
+  Emit(outcome.success ? TraceKind::kDone : TraceKind::kFailed, id,
+       outcome.source, kTraceNone, outcome.hops);
   if (!backlog_.empty()) {
     const uint64_t next = backlog_.front();
     backlog_.pop_front();

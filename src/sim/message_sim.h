@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <ostream>
 #include <string>
 #include <vector>
 
@@ -33,6 +32,7 @@
 #include "routing/route_stepper.h"
 #include "sim/event_engine.h"
 #include "sim/latency_model.h"
+#include "trace/trace.h"
 
 namespace oscar {
 
@@ -63,14 +63,21 @@ struct MessageSimOptions {
   /// Admission cap on concurrently active lookups; excess submissions
   /// wait in an admission backlog (their wait counts toward latency).
   size_t max_in_flight = 64;
-  /// Optional deterministic event-trace sink (lines are appended).
-  /// Kept in-memory for the determinism test; paper-scale runs should
-  /// stream to `trace_csv` instead.
+  /// Optional structured trace sink (CSV, columnar `.otrace`, ...);
+  /// every lookup-lifecycle event streams through it as it fires, so a
+  /// long run is analyzable without holding its trace in RAM. Detached
+  /// (nullptr) tracing costs one branch per would-be event.
+  TraceSink* sink = nullptr;
+  /// Optional human-readable in-memory trace (one line per event,
+  /// appended) — the legacy adapter the determinism tests byte-compare.
   std::string* trace = nullptr;
-  /// Optional streaming CSV sink (`t_ms,event,lookup,peer,to,info`
-  /// rows, one per trace event): rows are written as events fire, so a
-  /// long run is analyzable without holding its trace in RAM.
-  std::ostream* trace_csv = nullptr;
+  /// Cadence (virtual ms) of the queue-depth / in-flight timeline
+  /// samples emitted while tracing: every tick records the active and
+  /// backlogged lookup counts plus every nonempty per-peer service
+  /// queue. 0 disables sampling; so does a detached trace. The sampler
+  /// reads state only (no rng draws, no mutations), so enabling it
+  /// never perturbs outcomes.
+  double queue_depth_cadence_ms = 0.0;
 };
 
 /// Per-lookup record, final once `finished`.
@@ -145,20 +152,25 @@ class MessageSim {
   void Transmit(uint64_t id, PeerId from, PeerId to, double extra_delay_ms);
   void HandleTimeout(uint64_t id);
   void Finish(uint64_t id);
-  /// Appends one `t=<now> ...` line to the trace sink, if any. The
-  /// arguments are only rendered when tracing is on.
-  template <typename... Args>
-  void Trace(const Args&... args) {
-    if (options_.trace == nullptr) return;
-    options_.trace->append(StrCat("t=", FormatDouble(engine_->now(), 3), " ",
-                                  args..., "\n"));
+  /// Emits one structured event to every attached sink. Pass kTraceNone
+  /// for an absent peer/to column (0 is a real peer id). The empty-sink
+  /// test is the whole cost of a detached trace.
+  void Emit(TraceKind kind, uint64_t lookup, uint32_t peer, uint32_t to,
+            uint32_t info) {
+    if (sinks_.empty()) return;
+    TraceEvent event;
+    event.t_us = TraceTimeUs(engine_->now());
+    event.kind = kind;
+    event.lookup = static_cast<uint32_t>(lookup);
+    event.peer = peer;
+    event.to = to;
+    event.info = info;
+    for (TraceSink* sink : sinks_) sink->Append(event);
   }
-  /// Writes one structured `t_ms,event,lookup,peer,to,info` row to the
-  /// CSV sink, if any. Pass kNoPeer for an absent peer/to column (it is
-  /// emitted empty — 0 is a real peer id).
-  static constexpr int64_t kNoPeer = -1;
-  void Csv(const char* event, uint64_t id, int64_t a, int64_t b,
-           uint64_t info);
+  /// Schedules the first timeline sample if tracing wants one and none
+  /// is pending; SampleTimelines reschedules itself while work remains.
+  void ArmSampler();
+  void SampleTimelines();
   void SendPending(uint64_t id, double extra_delay_ms);
   double HopDelayMs(PeerId to) const;
   /// Per-message service time of `peer` (slow peers pay the multiplier).
@@ -169,6 +181,12 @@ class MessageSim {
   Network* net_;
   MessageSimOptions options_;
   Rng* rng_;
+
+  /// Active sinks: options_.sink plus the owned legacy string adapter
+  /// (when options_.trace is set). Empty = tracing off.
+  std::unique_ptr<StringTraceSink> string_adapter_;
+  std::vector<TraceSink*> sinks_;
+  bool sampler_armed_ = false;
 
   std::vector<Lookup> lookups_;
   std::vector<LookupOutcome> outcomes_;  // Parallel to lookups_.

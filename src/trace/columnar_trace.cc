@@ -1,0 +1,103 @@
+#include "trace/columnar_trace.h"
+
+namespace oscar {
+namespace {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+}  // namespace
+
+ColumnarTraceWriter::ColumnarTraceWriter(std::ostream* out,
+                                         size_t block_capacity)
+    : out_(out), block_capacity_(block_capacity == 0 ? 1 : block_capacity) {
+  frame_.assign(kOtraceMagic, sizeof(kOtraceMagic));
+  PutU32(&frame_, kOtraceVersion);
+  out_->write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+}
+
+ColumnarTraceWriter::~ColumnarTraceWriter() { Close(); }
+
+void ColumnarTraceWriter::OnNewString(uint32_t id, const std::string& text) {
+  frame_.clear();
+  PutU8(&frame_, kOtraceStringTag);
+  PutU32(&frame_, id);
+  PutU32(&frame_, static_cast<uint32_t>(text.size()));
+  frame_.append(text);
+  out_->write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+}
+
+void ColumnarTraceWriter::SetScope(uint32_t scope_id) {
+  // One scope per block: close out the pending block before switching.
+  if (scope_id != scope() && !t_us_.empty()) FlushBlock();
+  BasicTraceSink::SetScope(scope_id);
+}
+
+void ColumnarTraceWriter::Append(const TraceEvent& event) {
+  t_us_.push_back(event.t_us);
+  kind_.push_back(static_cast<uint8_t>(event.kind));
+  lookup_.push_back(event.lookup);
+  peer_.push_back(event.peer);
+  to_.push_back(event.to);
+  info_.push_back(event.info);
+  ++total_events_;
+  if (t_us_.size() >= block_capacity_) FlushBlock();
+}
+
+void ColumnarTraceWriter::FlushBlock() {
+  if (t_us_.empty()) return;
+  const uint32_t count = static_cast<uint32_t>(t_us_.size());
+  frame_.clear();
+  frame_.reserve(9 + count * 25);
+  PutU8(&frame_, kOtraceBlockTag);
+  PutU32(&frame_, scope());
+  PutU32(&frame_, count);
+  for (uint64_t v : t_us_) PutU64(&frame_, v);
+  for (uint8_t v : kind_) PutU8(&frame_, v);
+  for (uint32_t v : lookup_) PutU32(&frame_, v);
+  for (uint32_t v : peer_) PutU32(&frame_, v);
+  for (uint32_t v : to_) PutU32(&frame_, v);
+  for (uint32_t v : info_) PutU32(&frame_, v);
+  out_->write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+  t_us_.clear();
+  kind_.clear();
+  lookup_.clear();
+  peer_.clear();
+  to_.clear();
+  info_.clear();
+}
+
+Status ColumnarTraceWriter::Flush() {
+  FlushBlock();
+  out_->flush();
+  if (!*out_) return Status::Error("otrace: stream write failed");
+  return Status::Ok();
+}
+
+Status ColumnarTraceWriter::Close() {
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  FlushBlock();
+  frame_.clear();
+  PutU8(&frame_, kOtraceEndTag);
+  PutU64(&frame_, total_events_);
+  out_->write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+  out_->flush();
+  if (!*out_) return Status::Error("otrace: stream write failed");
+  return Status::Ok();
+}
+
+}  // namespace oscar

@@ -1,0 +1,45 @@
+// Reader for the `.otrace` columnar format (see columnar_trace.h for
+// the frame layout): rematerializes framed blocks into flat TraceRecord
+// rows plus the interned string table, validating magic, version, frame
+// tags, event kinds, string references and the end frame's event total
+// so a truncated or corrupt file is an error, never silent garbage.
+
+#ifndef OSCAR_TRACE_TRACE_READER_H_
+#define OSCAR_TRACE_TRACE_READER_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace oscar {
+
+/// One decoded event plus the scope (interned-string id) of the block
+/// it came from.
+struct TraceRecord {
+  TraceEvent event;
+  uint32_t scope = 0;
+};
+
+struct TraceContents {
+  std::vector<std::string> strings;  // Indexed by interned id.
+  std::vector<TraceRecord> records;  // In file (= emission) order.
+  size_t blocks = 0;
+
+  const std::string& scope_text(const TraceRecord& record) const {
+    return strings[record.scope];
+  }
+};
+
+/// Decodes a whole `.otrace` stream (opened in binary mode).
+Result<TraceContents> ReadTrace(std::istream& in);
+
+/// Convenience: opens `path` and decodes it.
+Result<TraceContents> ReadTraceFile(const std::string& path);
+
+}  // namespace oscar
+
+#endif  // OSCAR_TRACE_TRACE_READER_H_

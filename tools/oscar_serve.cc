@@ -11,6 +11,13 @@
 //   oscar_serve --hot-keys=16            Zipf-hot query keys
 //   oscar_serve --bench-json             one JSON object for the BENCH
 //                                        artifact instead of tables
+//   oscar_serve --trace-file=F           per-cell admission/queue-depth
+//                                        timelines from the virtual-time
+//                                        sweep; `.otrace` = binary
+//                                        columnar, else CSV
+//                                        (--trace-format=csv|otrace
+//                                        overrides, --queue-cadence-ms=N
+//                                        sets the sample cadence)
 //   oscar_serve --list-policies          print the admission catalog
 //
 // Topology scale and seed come from the usual env knobs
@@ -24,7 +31,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +44,8 @@
 #include "serve/admission.h"
 #include "serve/load_generator.h"
 #include "sim/scenario.h"
+#include "trace/columnar_trace.h"
+#include "trace/trace.h"
 
 namespace oscar {
 namespace {
@@ -45,7 +56,8 @@ void PrintUsage(std::ostream& out) {
          "                   [--burst=B] [--hop-ms=MS] [--hot-keys=K]\n"
          "                   [--zipf=S] [--queue-cap=Q] [--timeout-ms=MS]\n"
          "                   [--peer-cap=K] [--bench-json]\n"
-         "                   [--list-policies]\n"
+         "                   [--trace-file=F] [--trace-format=csv|otrace]\n"
+         "                   [--queue-cadence-ms=MS] [--list-policies]\n"
          "policies:";
   for (const std::string& name : AdmissionCatalog()) out << " " << name;
   out << "\nrates are offered lookups/s; 0 disables rate limiting "
@@ -204,6 +216,8 @@ int RunCli(const std::vector<std::string>& args) {
   ServeOptions serve;
   bool bench_json = false;
   bool list_policies = false;
+  std::string trace_path;
+  std::string trace_format;  // "" = decide by extension.
 
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -284,6 +298,26 @@ int RunCli(const std::vector<std::string>& args) {
         }
         serve.offered_rates_per_s.push_back(real);
       }
+    } else if (FlagValue(arg, "--trace-file", &value)) {
+      if (!trace_path.empty()) {
+        return RejectUsage("duplicate --trace-file (one trace per run)");
+      }
+      if (value.empty()) {
+        return RejectUsage("--trace-file requires a path");
+      }
+      trace_path = value;
+    } else if (FlagValue(arg, "--trace-format", &value)) {
+      if (value != "csv" && value != "otrace") {
+        return RejectUsage(StrCat("--trace-format wants csv or otrace, "
+                                  "got '", value, "'"));
+      }
+      trace_format = value;
+    } else if (FlagValue(arg, "--queue-cadence-ms", &value)) {
+      if (!ParseDouble(value, &real) || real < 0.0) {
+        return RejectUsage(StrCat("--queue-cadence-ms wants a non-negative "
+                                  "number, got '", value, "'"));
+      }
+      serve.trace_cadence_ms = real;
     } else if (FlagValue(arg, "--policies", &value)) {
       std::vector<std::string> parts = SplitCommaList(value);
       if (parts.empty()) {
@@ -310,6 +344,39 @@ int RunCli(const std::vector<std::string>& args) {
         !probe.ok()) {
       return RejectUsage(probe.status().message());
     }
+  }
+  if (!trace_format.empty() && trace_path.empty()) {
+    return RejectUsage("--trace-format needs --trace-file");
+  }
+
+  // Sink selection mirrors oscar_sim: `.otrace` extension = binary
+  // columnar writer, anything else CSV; --trace-format overrides.
+  std::ofstream trace_file;
+  std::unique_ptr<TraceSink> trace_sink;
+  ColumnarTraceWriter* columnar = nullptr;
+  if (!trace_path.empty()) {
+    const std::string ext = ".otrace";
+    const bool by_ext =
+        trace_path.size() >= ext.size() &&
+        trace_path.compare(trace_path.size() - ext.size(), ext.size(),
+                           ext) == 0;
+    const bool binary =
+        trace_format.empty() ? by_ext : trace_format == "otrace";
+    trace_file.open(trace_path, binary ? std::ios::binary | std::ios::out
+                                       : std::ios::out);
+    if (!trace_file) {
+      std::cerr << "oscar_serve: cannot open trace file: " << trace_path
+                << "\n";
+      return 2;
+    }
+    if (binary) {
+      auto writer = std::make_unique<ColumnarTraceWriter>(&trace_file);
+      columnar = writer.get();
+      trace_sink = std::move(writer);
+    } else {
+      trace_sink = std::make_unique<CsvTraceSink>(&trace_file);
+    }
+    serve.trace = trace_sink.get();
   }
 
   const ExperimentScale scale = ScaleFromEnv();
@@ -338,6 +405,19 @@ int RunCli(const std::vector<std::string>& args) {
   }
   const double serve_s = SecondsSince(serve_start);
   const ServeReport& report = run.value();
+
+  if (trace_sink != nullptr) {
+    if (columnar != nullptr) {
+      columnar->Close();
+    } else {
+      trace_sink->Flush();
+    }
+    if (!trace_file) {
+      std::cerr << "oscar_serve: error writing trace file: " << trace_path
+                << "\n";
+      return 2;
+    }
+  }
 
   if (bench_json) {
     PrintBenchJson(base, serve, report, grow_s);

@@ -4,7 +4,13 @@
 //   oscar_sim flash-crowd ...     run the named scenario(s)
 //   oscar_sim --scenarios a,b,c   same, comma-separated
 //   oscar_sim --list              print the catalog
-//   oscar_sim --trace-file F.csv  stream the event trace as CSV rows
+//   oscar_sim --trace-file F      stream the event trace; a `.otrace`
+//                                 extension selects the binary columnar
+//                                 encoding, anything else CSV rows
+//   oscar_sim --trace-format F    override that choice (csv | otrace)
+//   oscar_sim --queue-cadence-ms N  queue-depth/in-flight timeline
+//                                 sample cadence in virtual ms while
+//                                 tracing (default 10, 0 disables)
 //   oscar_sim --cross-check       verify the message engine reproduces
 //                                 the synchronous engine's per-query hop
 //                                 counts (zero latency, one in flight)
@@ -25,8 +31,10 @@
 // infrastructure error (unknown scenario, experiment Status error).
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +42,8 @@
 #include "common/table_printer.h"
 #include "core/experiments.h"
 #include "sim/scenario.h"
+#include "trace/columnar_trace.h"
+#include "trace/trace.h"
 
 namespace oscar {
 namespace {
@@ -63,12 +73,20 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
 
 void PrintUsage(std::ostream& out) {
   out << "usage: oscar_sim [--list] [--cross-check] "
-         "[--scenarios a,b,c] [--trace-file out.csv] "
+         "[--scenarios a,b,c] [--trace-file out.otrace|out.csv] "
+         "[--trace-format csv|otrace] [--queue-cadence-ms N] "
          "[scenario ...]\nscenarios:";
   for (const std::string& name : ScenarioCatalog()) {
     out << " " << name;
   }
   out << "\n";
+}
+
+/// True when `path` ends in the binary columnar extension.
+bool HasOtraceExtension(const std::string& path) {
+  const std::string ext = ".otrace";
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
 }
 
 /// Flag-parse rejection: one diagnostic plus the usage line, exit 2
@@ -90,6 +108,8 @@ int RunCli(const std::vector<std::string>& args) {
   bool list = false;
   bool cross_check = false;
   std::string trace_path;
+  std::string trace_format;  // "" = decide by extension.
+  double queue_cadence_ms = 10.0;
   std::vector<std::string> names;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -129,6 +149,39 @@ int RunCli(const std::vector<std::string>& args) {
       if (trace_path.empty()) {
         return RejectUsage("--trace-file requires a path");
       }
+    } else if (arg == "--trace-format" ||
+               arg.rfind("--trace-format=", 0) == 0) {
+      if (arg == "--trace-format") {
+        if (i + 1 >= args.size()) {
+          return RejectUsage("--trace-format requires csv or otrace");
+        }
+        trace_format = args[++i];
+      } else {
+        trace_format = arg.substr(sizeof("--trace-format=") - 1);
+      }
+      if (trace_format != "csv" && trace_format != "otrace") {
+        return RejectUsage(StrCat("--trace-format wants csv or otrace, "
+                                  "got '", trace_format, "'"));
+      }
+    } else if (arg == "--queue-cadence-ms" ||
+               arg.rfind("--queue-cadence-ms=", 0) == 0) {
+      std::string value;
+      if (arg == "--queue-cadence-ms") {
+        if (i + 1 >= args.size()) {
+          return RejectUsage("--queue-cadence-ms requires a value");
+        }
+        value = args[++i];
+      } else {
+        value = arg.substr(sizeof("--queue-cadence-ms=") - 1);
+      }
+      char* end = nullptr;
+      const double parsed =
+          value.empty() ? -1.0 : std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed < 0.0) {
+        return RejectUsage(StrCat("--queue-cadence-ms wants a non-negative "
+                                  "number, got '", value, "'"));
+      }
+      queue_cadence_ms = parsed;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout);
       return 0;
@@ -164,15 +217,33 @@ int RunCli(const std::vector<std::string>& args) {
     }
   }
 
+  if (!trace_format.empty() && trace_path.empty()) {
+    return RejectUsage("--trace-format needs --trace-file");
+  }
+  // Sink selection: the `.otrace` extension picks the binary columnar
+  // writer, anything else the CSV adapter; --trace-format overrides.
   std::ofstream trace_file;
+  std::unique_ptr<TraceSink> trace_sink;
+  ColumnarTraceWriter* columnar = nullptr;
   if (!trace_path.empty()) {
-    trace_file.open(trace_path);
+    const bool binary = trace_format.empty()
+                            ? HasOtraceExtension(trace_path)
+                            : trace_format == "otrace";
+    trace_file.open(trace_path,
+                    binary ? std::ios::binary | std::ios::out
+                           : std::ios::out);
     if (!trace_file) {
       std::cerr << "oscar_sim: cannot open trace file: " << trace_path
                 << "\n";
       return 2;
     }
-    trace_file << "t_ms,event,lookup,peer,to,info\n";
+    if (binary) {
+      auto writer = std::make_unique<ColumnarTraceWriter>(&trace_file);
+      columnar = writer.get();
+      trace_sink = std::move(writer);
+    } else {
+      trace_sink = std::make_unique<CsvTraceSink>(&trace_file);
+    }
   }
 
   // One grow per (seed, size, overlay), shared by the cross-check and
@@ -208,9 +279,10 @@ int RunCli(const std::vector<std::string>& args) {
   Network scratch;
   for (const std::string& name : names) {
     ScenarioOptions options = base;
-    if (trace_file.is_open()) {
-      trace_file << "# scenario=" << name << "\n";
-      options.sim.trace_csv = &trace_file;
+    if (trace_sink != nullptr) {
+      trace_sink->SetScope(trace_sink->Intern(name));
+      options.sim.sink = trace_sink.get();
+      options.sim.queue_depth_cadence_ms = queue_cadence_ms;
     }
     auto run = RunScenarioOn(name, options, grown.value(), &scratch);
     if (!run.ok()) {
@@ -241,6 +313,15 @@ int RunCli(const std::vector<std::string>& args) {
     });
   }
   const double run_s = SecondsSince(run_start);
+  if (trace_sink != nullptr) {
+    // The columnar writer frames an end record; both sinks flush.
+    const Status closed =
+        columnar != nullptr ? columnar->Close() : trace_sink->Flush();
+    if (!closed.ok()) {
+      std::cerr << "oscar_sim: trace: " << closed.message() << "\n";
+      return 2;
+    }
+  }
   table.Print(std::cout);
   std::cerr << "# timing: grow=" << FormatDouble(grow_s, 2) << "s (1 grow, "
             << names.size() << " scenario run"
