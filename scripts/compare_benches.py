@@ -151,6 +151,42 @@ def main():
                     (f"growth_probe[threads={threads}]", b, c, delta))
             print(f"{'threads=' + str(threads):<34} {b:>10.1f} {c:>10.1f} "
                   f"{delta:>+7.1%}{marker}")
+        # Peak RSS rides along informationally: growth at the probe
+        # scale is dominated by allocator behavior, so a >25% jump is
+        # worth a look (SoA slab sizing, snapshot copies) but NEVER
+        # fatal — memory is not wall time and runner images differ.
+        print(f"\n{'growth probe (peak_rss_kb)':<34} {'base':>10} "
+              f"{'curr':>10} {'delta':>8}")
+        for threads in sorted(curr_g):
+            c = curr_g[threads].get("peak_rss_kb", 0)
+            base_row = base_g.get(threads)
+            b = 0 if base_row is None else base_row.get("peak_rss_kb", 0)
+            if not b:
+                print(f"{'threads=' + str(threads):<34} {'--':>10} "
+                      f"{c:>10} {'new':>8}")
+                continue
+            delta = (c - b) / b
+            marker = "  << RSS +25% (non-fatal)" if delta > 0.25 else ""
+            print(f"{'threads=' + str(threads):<34} {b:>10} {c:>10} "
+                  f"{delta:>+7.1%}{marker}")
+
+    # Batched-join A/B and the huge-tier row (pr8+ artifacts): purely
+    # informational — the A/B is a within-artifact comparison already,
+    # and huge rows come from dedicated big-memory runs.
+    curr_ab = curr.get("join_ab")
+    if isinstance(curr_ab, dict):
+        s = curr_ab.get("seq_growth_ms_min", 0.0)
+        b = curr_ab.get("batch_growth_ms_min", 0.0)
+        speedup = s / b if b > 0 else 0.0
+        print(f"\njoin A/B (N={curr_ab.get('size')}, min of "
+              f"{curr_ab.get('rounds')}): seq {s:.1f}ms vs "
+              f"k={curr_ab.get('join_batch')} {b:.1f}ms "
+              f"({speedup:.2f}x)")
+    curr_huge = curr.get("growth_huge")
+    if isinstance(curr_huge, dict):
+        print(f"huge tier: N={curr_huge.get('size')} grew in "
+              f"{curr_huge.get('growth_ms_total', 0.0):.0f}ms, "
+              f"peak_rss_kb={curr_huge.get('peak_rss_kb')}")
 
     serve_regressions = []
     base_s, curr_s = serve_section(base), serve_section(curr)

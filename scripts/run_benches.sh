@@ -11,11 +11,14 @@
 # harnesses.
 #
 # Side effect: writes ${build_dir}/${OSCAR_BENCH_OUT} (default
-# BENCH_pr7.json) — per-harness wall time, micro_core benchmark
+# BENCH_pr8.json) — per-harness wall time, micro_core benchmark
 # numbers, the growth_probe checkpoint-rewiring wall times (plus peak
 # RSS) at 1 and OSCAR_PROBE_THREADS (default 4) worker threads, the
-# oscar_serve firehose sweep (route-phase lookups/s + the rate x policy
-# cells), and the trace-overhead probe (detached vs columnar-attached
+# batched-join A/B (sequential vs join_batch growth walls, interleaved
+# min-of-k), an optional huge-tier growth row (OSCAR_BENCH_HUGE=1;
+# OSCAR_BENCH_SIZE can shrink it for CI), the oscar_serve firehose
+# sweep (route-phase lookups/s + the rate x policy cells), and the
+# trace-overhead probe (detached vs columnar-attached
 # scenario walls) — the perf-trajectory artifact CI uploads per run — and copies
 # it to the repo root so the trajectory is comparable across commits
 # (scripts/compare_benches.py diffs two of them). The JSON is
@@ -31,7 +34,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 # committed one. A malformed name is an error, not a silent fallback —
 # falling back to the default would overwrite the committed baseline
 # and corrupt the A/B flow documented in compare_benches.py.
-artifact="${OSCAR_BENCH_OUT:-BENCH_pr7.json}"
+artifact="${OSCAR_BENCH_OUT:-BENCH_pr8.json}"
 if [[ ! "${artifact}" =~ ^[A-Za-z0-9._-]+$ ]]; then
   echo "run_benches: invalid OSCAR_BENCH_OUT '${artifact}'" \
        "(want a bare file name, [A-Za-z0-9._-]+)" >&2
@@ -131,6 +134,63 @@ if [[ -x "${build_dir}/growth_probe" ]]; then
   fi
 fi
 
+# Batched-join A/B at the pinned probe scale: grow the same N=3000 /
+# seed-42 network once per arm per round, arms interleaved (seq, batch,
+# seq, batch, ...) so drift hits both equally, and keep the min wall
+# per arm — the same min-of-k methodology as PRs 5-7. join_batch only
+# changes HOW joins are planned (epoch snapshots + parallel planning),
+# never the grown topology's byte identity vs k=1 batches, so the delta
+# is pure construction cost.
+join_ab_row="null"
+ab_rounds="${OSCAR_JOIN_AB_ROUNDS:-3}"
+[[ "${ab_rounds}" =~ ^[0-9]+$ ]] || ab_rounds=3
+join_ab_batch="${OSCAR_JOIN_AB_BATCH:-64}"
+[[ "${join_ab_batch}" =~ ^[0-9]+$ ]] || join_ab_batch=64
+if [[ -x "${build_dir}/growth_probe" && "${ab_rounds}" -gt 0 ]]; then
+  growth_ms() {  # join_batch -> growth_ms_total or ""
+    OSCAR_BENCH_SIZE=3000 OSCAR_BENCH_SEED=42 OSCAR_THREADS=1 \
+      OSCAR_JOIN_BATCH="$1" "${build_dir}/growth_probe" 2>/dev/null |
+      sed -n 's/.*"growth_ms_total": \([0-9.]*\).*/\1/p'
+  }
+  seq_min="" batch_min=""
+  for (( round = 0; round < ab_rounds; ++round )); do
+    s=$(growth_ms 0)
+    b=$(growth_ms "${join_ab_batch}")
+    if [[ -z "${s}" || -z "${b}" ]]; then
+      echo "run_benches: batched-join A/B probe failed" >&2
+      seq_min="" batch_min=""
+      break
+    fi
+    seq_min=$(awk -v a="${seq_min:-${s}}" -v b="${s}" \
+              'BEGIN { print (a < b) ? a : b }')
+    batch_min=$(awk -v a="${batch_min:-${b}}" -v b="${b}" \
+                'BEGIN { print (a < b) ? a : b }')
+  done
+  if [[ -n "${seq_min}" && -n "${batch_min}" ]]; then
+    join_ab_row="{\"size\": 3000, \"rounds\": ${ab_rounds}, \
+\"join_batch\": ${join_ab_batch}, \
+\"seq_growth_ms_min\": ${seq_min}, \
+\"batch_growth_ms_min\": ${batch_min}}"
+  fi
+fi
+
+# Huge-tier growth row (opt-in: OSCAR_BENCH_HUGE=1): one oracle-sampled
+# batched growth under OSCAR_BENCH_SCALE=huge. The full tier is 10^6
+# peers; CI's smoke job shrinks it with OSCAR_BENCH_SIZE=100000 to fit
+# the runner. Wall + peak RSS land in the artifact either way.
+huge_row="null"
+if [[ "${OSCAR_BENCH_HUGE:-0}" == "1" && -x "${build_dir}/growth_probe" ]]; then
+  row=$(OSCAR_BENCH_SCALE=huge OSCAR_BENCH_SEED=42 \
+        OSCAR_JOIN_BATCH="${OSCAR_JOIN_BATCH:-1024}" \
+        "${build_dir}/growth_probe" 2>/dev/null)
+  if [[ "${row}" == {* ]]; then
+    huge_row="${row}"
+  else
+    echo "run_benches: huge-tier growth_probe failed" >&2
+    fail=1
+  fi
+fi
+
 # Serving firehose: the default rate x policy sweep over the same
 # frozen N=3000 / seed-42 snapshot the growth probe measures, on the
 # full worker pool. --bench-json prints one JSON object (route-phase
@@ -188,6 +248,7 @@ scale="${OSCAR_BENCH_SCALE:-small}"
   echo "  \"schema\": \"oscar-bench-v1\","
   echo "  \"scale\": \"${scale}\","
   echo "  \"seed\": ${seed},"
+  echo "  \"nproc\": $(nproc 2>/dev/null || echo 0),"
   echo "  \"harnesses\": ["
   if [[ "${#json_rows[@]}" -gt 0 ]]; then
     for i in "${!json_rows[@]}"; do
@@ -209,6 +270,8 @@ scale="${OSCAR_BENCH_SCALE:-small}"
     echo "${row}"
   done
   echo "  ],"
+  echo "  \"join_ab\": ${join_ab_row},"
+  echo "  \"growth_huge\": ${huge_row},"
   echo "  \"serve\": ${serve_row},"
   echo "  \"trace\": ${trace_row}"
   echo "}"

@@ -91,7 +91,7 @@ Result<size_t> CrashSegment(Network* net, KeyId from, double span) {
   const KeyId to = from.OffsetBy(span);
   std::vector<PeerId> victims;
   for (PeerId id : net->AlivePeers()) {
-    if (InClockwiseSegment(net->peer(id).key, from, to)) {
+    if (InClockwiseSegment(net->key(id), from, to)) {
       victims.push_back(id);
     }
   }

@@ -31,12 +31,28 @@ uint64_t EnvOrDefault(const char* name, uint64_t fallback) {
 ExperimentScale ScaleFromEnv() {
   ExperimentScale scale;
   const char* mode_env = std::getenv("OSCAR_BENCH_SCALE");
-  const std::string mode = mode_env == nullptr ? "small" : mode_env;
+  const std::string mode = mode_env == nullptr ? "smoke" : mode_env;
   if (mode == "paper") {
     scale.target_size = 10000;
     scale.queries = 1000;
     scale.checkpoints = {2000, 4000, 6000, 8000, 10000};
+  } else if (mode == "n3000") {
+    // The perf-probe scale PRs 5-8 track growth trajectories at.
+    scale.target_size = 3000;
+    scale.queries = 600;
+    scale.checkpoints = {750, 1500, 3000};
+  } else if (mode == "huge") {
+    // Million-peer growth. Queries are SPARSE (200 per checkpoint —
+    // evaluation cost must not drown construction cost, the thing this
+    // tier measures), and ExperimentScale::huge tells harnesses to use
+    // oracle segment sampling: random-walk sampling costs ~16k protocol
+    // steps per join and would push construction into hours.
+    scale.target_size = 1000000;
+    scale.queries = 200;
+    scale.checkpoints = {250000, 500000, 1000000};
+    scale.huge = true;
   } else {
+    // "smoke" (historical alias "small"): seconds per harness.
     scale.target_size = 600;
     scale.queries = 600;
     scale.checkpoints = {150, 300, 600};

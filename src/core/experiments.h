@@ -25,11 +25,19 @@ struct ExperimentScale {
   size_t queries = 0;         // Queries per evaluation point.
   uint64_t seed = 0;
   std::vector<size_t> checkpoints;  // Network sizes to evaluate at.
+  /// True for the "huge" tier: consumers should prefer oracle segment
+  /// sampling and sparse queries — walk-sampled construction at 10^6
+  /// peers is wall-clock-infeasible (see README "Scale tiers").
+  bool huge = false;
 };
 
 /// Reads the scale from the environment:
-///   OSCAR_BENCH_SCALE   "small" (default, seconds per harness) or
-///                       "paper" (the paper's 10k-peer runs).
+///   OSCAR_BENCH_SCALE   "smoke" (default; alias "small" — seconds per
+///                       harness), "n3000" (the 3000-peer perf-probe
+///                       scale), "paper" (the paper's 10k-peer runs),
+///                       or "huge" (10^6 peers, sparse queries; sets
+///                       ExperimentScale::huge so harnesses switch to
+///                       oracle sampling).
 ///   OSCAR_BENCH_SIZE    overrides target_size (checkpoints become
 ///                       size/4, size/2, size).
 ///   OSCAR_BENCH_QUERIES overrides queries per evaluation.

@@ -4,44 +4,64 @@
 
 namespace oscar {
 
+PeerId Network::AppendPeer(KeyId key, DegreeCaps caps) {
+  const PeerId id = static_cast<PeerId>(keys_.size());
+  keys_.push_back(key);
+  caps_.push_back(caps);
+  alive_.push_back(1);
+  out_base_.push_back(out_base_.back() + caps.max_out);
+  in_base_.push_back(in_base_.back() + caps.max_in);
+  out_count_.push_back(0);
+  in_count_.push_back(0);
+  out_slab_.resize(out_base_.back());
+  in_slab_.resize(in_base_.back());
+  return id;
+}
+
 PeerId Network::Join(KeyId key, DegreeCaps caps) {
-  const PeerId id = static_cast<PeerId>(peers_.size());
-  Peer peer;
-  peer.key = key;
-  peer.caps = caps;
-  peers_.push_back(std::move(peer));
+  const PeerId id = AppendPeer(key, caps);
   ring_.Insert(key, id);
   Touch(id);
   return id;
 }
 
+PeerId Network::JoinMany(const std::vector<KeyId>& keys,
+                         const std::vector<DegreeCaps>& caps) {
+  const PeerId first = static_cast<PeerId>(keys_.size());
+  std::vector<Ring::Entry> entries;
+  entries.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const PeerId id = AppendPeer(keys[i], caps[i]);
+    entries.push_back({keys[i].raw, id});
+    Touch(id);
+  }
+  ring_.InsertMany(std::move(entries));
+  return first;
+}
+
 void Network::Crash(PeerId id) {
-  Peer& peer = peers_[id];
-  if (!peer.alive) return;
+  if (!alive_[id]) return;
   ClearLongLinks(id);  // Release the in-degree this peer's links held.
-  peer.alive = false;
-  peer.long_in_peers.clear();
-  peer.long_in = 0;
-  ring_.Remove(peer.key, id);
+  alive_[id] = 0;
+  in_count_[id] = 0;
+  ring_.Remove(keys_[id], id);
   Touch(id);
 }
 
 void Network::CrashMany(const std::vector<PeerId>& victims) {
   size_t newly_dead = 0;
   for (PeerId id : victims) {
-    Peer& peer = peers_[id];
-    if (!peer.alive) continue;
+    if (!alive_[id]) continue;
     ClearLongLinks(id);
-    peer.alive = false;
-    peer.long_in_peers.clear();
-    peer.long_in = 0;
+    alive_[id] = 0;
+    in_count_[id] = 0;
     Touch(id);
     ++newly_dead;
   }
   if (newly_dead == 0) return;
   // After the liveness flips above, the only dead ids still on the ring
   // are exactly the victims: drop them in one pass.
-  ring_.RemoveIdsIf([this](PeerId id) { return !peers_[id].alive; });
+  ring_.RemoveIdsIf([this](PeerId id) { return alive_[id] == 0; });
 }
 
 std::vector<PeerId> Network::AlivePeers() const {
@@ -52,9 +72,8 @@ std::vector<PeerId> Network::AlivePeers() const {
 }
 
 std::optional<PeerId> Network::RingNeighbor(PeerId id, bool clockwise) const {
-  const Peer& peer = peers_[id];
-  if (!peer.alive || ring_.size() < 2) return std::nullopt;
-  const auto index = ring_.IndexOf(peer.key, id);
+  if (!alive_[id] || ring_.size() < 2) return std::nullopt;
+  const auto index = ring_.IndexOf(keys_[id], id);
   if (!index.has_value()) return std::nullopt;
   const size_t n = ring_.size();
   const size_t next = clockwise ? (*index + 1) % n : (*index + n - 1) % n;
@@ -71,52 +90,55 @@ std::optional<PeerId> Network::PredecessorOf(PeerId id) const {
 
 bool Network::AddLongLink(PeerId from, PeerId to) {
   if (from == to) return false;
-  Peer& src = peers_[from];
-  Peer& dst = peers_[to];
-  if (!src.alive || !dst.alive) return false;
-  if (src.long_out.size() >= src.caps.max_out) return false;
-  if (dst.long_in >= dst.caps.max_in) return false;
-  if (std::find(src.long_out.begin(), src.long_out.end(), to) !=
-      src.long_out.end()) {
+  if (!alive_[from] || !alive_[to]) return false;
+  if (out_count_[from] >= caps_[from].max_out) return false;
+  if (in_count_[to] >= caps_[to].max_in) return false;
+  PeerId* out_row = out_slab_.data() + out_base_[from];
+  const uint32_t out_used = out_count_[from];
+  if (std::find(out_row, out_row + out_used, to) != out_row + out_used) {
     return false;
   }
-  src.long_out.push_back(to);
-  dst.long_in_peers.push_back(from);
-  ++dst.long_in;
+  out_row[out_used] = to;
+  ++out_count_[from];
+  in_slab_[in_base_[to] + in_count_[to]] = from;
+  ++in_count_[to];
   Touch(from);
   Touch(to);
   return true;
 }
 
 void Network::ClearLongLinks(PeerId id) {
-  Peer& peer = peers_[id];
-  for (PeerId target : peer.long_out) {
-    Peer& dst = peers_[target];
-    if (!dst.alive) continue;
-    const auto it = std::find(dst.long_in_peers.begin(),
-                              dst.long_in_peers.end(), id);
-    if (it != dst.long_in_peers.end()) {
-      dst.long_in_peers.erase(it);
-      --dst.long_in;
+  const PeerId* out_row = out_slab_.data() + out_base_[id];
+  const uint32_t out_used = out_count_[id];
+  for (uint32_t i = 0; i < out_used; ++i) {
+    const PeerId target = out_row[i];
+    if (!alive_[target]) continue;
+    PeerId* in_row = in_slab_.data() + in_base_[target];
+    PeerId* in_end = in_row + in_count_[target];
+    PeerId* it = std::find(in_row, in_end, id);
+    if (it != in_end) {
+      // Order-preserving erase, exactly as the vector layout behaved —
+      // walk order over in-links is physics, not an implementation
+      // detail.
+      std::copy(it + 1, in_end, it);
+      --in_count_[target];
       Touch(target);
     }
   }
-  peer.long_out.clear();
+  out_count_[id] = 0;
   Touch(id);
 }
 
 void Network::ClearAllLongLinks() {
-  for (PeerId id = 0; id < peers_.size(); ++id) {
-    Peer& peer = peers_[id];
-    if (!peer.alive) continue;  // Dead peers hold no link state.
+  for (PeerId id = 0; id < keys_.size(); ++id) {
+    if (!alive_[id]) continue;  // Dead peers hold no link state.
     bool changed = false;
-    if (!peer.long_out.empty()) {
-      peer.long_out.clear();
+    if (out_count_[id] != 0) {
+      out_count_[id] = 0;
       changed = true;
     }
-    if (peer.long_in != 0) {
-      peer.long_in_peers.clear();
-      peer.long_in = 0;
+    if (in_count_[id] != 0) {
+      in_count_[id] = 0;
       changed = true;
     }
     if (changed) Touch(id);
@@ -131,8 +153,8 @@ size_t Network::ApplyLinkPlan(PeerId from,
     if (added >= budget) break;
     PeerId to = candidate.primary;
     if (candidate.alternate != candidate.primary &&
-        RelativeInLoad(peers_[candidate.alternate]) <
-            RelativeInLoad(peers_[candidate.primary])) {
+        RelativeInLoad(candidate.alternate) <
+            RelativeInLoad(candidate.primary)) {
       to = candidate.alternate;
     }
     if (AddLongLink(from, to)) {
@@ -150,21 +172,16 @@ size_t Network::ApplyLinkPlan(PeerId from,
 }
 
 size_t Network::PruneDeadLinks(PeerId id) {
-  Peer& peer = peers_[id];
-  const size_t before = peer.long_out.size();
-  peer.long_out.erase(
-      std::remove_if(peer.long_out.begin(), peer.long_out.end(),
-                     [&](PeerId t) { return !peers_[t].alive; }),
-      peer.long_out.end());
-  if (before != peer.long_out.size()) Touch(id);
-  return before - peer.long_out.size();
+  PeerId* out_row = out_slab_.data() + out_base_[id];
+  PeerId* out_end = out_row + out_count_[id];
+  PeerId* kept = std::remove_if(out_row, out_end,
+                                [&](PeerId t) { return alive_[t] == 0; });
+  const size_t dropped = static_cast<size_t>(out_end - kept);
+  if (dropped != 0) {
+    out_count_[id] = static_cast<uint32_t>(kept - out_row);
+    Touch(id);
+  }
+  return dropped;
 }
-
-uint32_t Network::RemainingOutBudget(PeerId id) const {
-  const Peer& peer = peers_[id];
-  const uint32_t used = static_cast<uint32_t>(peer.long_out.size());
-  return peer.caps.max_out > used ? peer.caps.max_out - used : 0;
-}
-
 
 }  // namespace oscar

@@ -43,26 +43,22 @@ class NetworkView {
   const Ring& ring() const { return net_ ? net_->ring() : snap_->ring(); }
 
   KeyId key(PeerId id) const {
-    return net_ ? net_->peer(id).key : snap_->key(id);
+    return net_ ? net_->key(id) : snap_->key(id);
   }
   bool alive(PeerId id) const {
-    return net_ ? net_->peer(id).alive : snap_->alive(id);
+    return net_ ? net_->alive(id) : snap_->alive(id);
   }
   DegreeCaps caps(PeerId id) const {
-    return net_ ? net_->peer(id).caps : snap_->caps(id);
+    return net_ ? net_->caps(id) : snap_->caps(id);
   }
 
   /// Long out-links of `id` in stored order (may dangle to dead peers).
   PeerSpan OutLinks(PeerId id) const {
-    if (net_ == nullptr) return snap_->OutLinks(id);
-    const std::vector<PeerId>& out = net_->peer(id).long_out;
-    return {out.data(), out.size()};
+    return net_ ? net_->OutLinks(id) : snap_->OutLinks(id);
   }
   /// Alive peers holding a long link to `id`.
   PeerSpan InLinks(PeerId id) const {
-    if (net_ == nullptr) return snap_->InLinks(id);
-    const std::vector<PeerId>& in = net_->peer(id).long_in_peers;
-    return {in.data(), in.size()};
+    return net_ ? net_->InLinks(id) : snap_->InLinks(id);
   }
 
   std::optional<PeerId> OwnerOf(KeyId target) const {

@@ -29,6 +29,11 @@ class Ring {
   };
 
   void Insert(KeyId key, PeerId id);
+  /// Inserts every entry in `added` (any order) in one backward merge
+  /// pass — O(size + k log k) total where k sorted-vector Inserts would
+  /// cost O(k * size). Identical result to inserting them one by one;
+  /// Network::JoinMany is the caller that makes batched joins cheap.
+  void InsertMany(std::vector<Entry> added);
   void Remove(KeyId key, PeerId id);
 
   /// Removes every entry whose id satisfies `pred` in one filter pass —

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -192,12 +193,83 @@ Result<GrowthResult> Simulation::Run() {
                                ? config_.rewire_threads
                                : ThreadCountFromEnv();
 
+  // Batched join planning (join_batch > 0 on a join-planning overlay):
+  // joiners are admitted in waves and planned read-only over a shared
+  // EPOCH snapshot. The epoch — not the wave — is the determinism
+  // boundary: snapshots refresh at alive-count thresholds (~12.5%
+  // growth, plus after every checkpoint rewire) that do not depend on
+  // the wave size, each joiner plans on a stream forked from
+  // (epoch_salt, epoch_index, its peer id), and plans are applied in
+  // join order. Every quantity a plan can observe is therefore a
+  // function of alive counts and peer ids alone, which is what makes
+  // the grown topology byte-identical for every k >= 1 at every thread
+  // count (guarded by the batch-join determinism test).
+  const bool batch_joins =
+      config_.join_batch > 0 && config_.overlay->SupportsJoinPlanning();
+  std::unique_ptr<TopologySnapshot> epoch;
+  uint64_t epoch_salt = 0;
+  uint64_t epoch_index = 0;
+  size_t epoch_refresh_at = 0;
+  // Domain separation for the per-joiner planning streams, distinct
+  // from the rewire-path salts (arbitrary odd mixing word).
+  constexpr uint64_t kJoinStreamSalt = 0x3c6ef372fe94f82bULL;
+  const auto refresh_epoch = [&]() {
+    epoch_salt = rng.Next();
+    ++epoch_index;
+    epoch = std::make_unique<TopologySnapshot>(network_);
+    const size_t base = network_.alive_count();
+    epoch_refresh_at = base + std::max<size_t>(size_t{1}, base / 8);
+  };
+  if (batch_joins) refresh_epoch();
+
   while (network_.alive_count() < config_.target_size) {
-    const PeerId id =
-        network_.Join(config_.key_distribution->Sample(&rng),
-                      config_.degree_distribution->Sample(&rng));
-    const Status built = config_.overlay->BuildLinks(&network_, id, &rng);
-    if (!built.ok()) return built;
+    if (batch_joins) {
+      // Wave size: up to join_batch, clipped so the wave lands exactly
+      // on the next epoch-refresh, checkpoint, or target boundary —
+      // boundaries are alive-count facts, never wave-size facts.
+      const size_t alive = network_.alive_count();
+      size_t wave = std::min<size_t>(config_.join_batch,
+                                     config_.target_size - alive);
+      wave = std::min(wave, epoch_refresh_at - alive);
+      if (next_checkpoint < checkpoints.size()) {
+        wave = std::min(wave, checkpoints[next_checkpoint] - alive);
+      }
+      // Keys and degrees are drawn from the main rng in join order —
+      // the sequential path's exact per-join consumption order.
+      std::vector<KeyId> keys(wave);
+      std::vector<DegreeCaps> caps(wave);
+      for (size_t i = 0; i < wave; ++i) {
+        keys[i] = config_.key_distribution->Sample(&rng);
+        caps[i] = config_.degree_distribution->Sample(&rng);
+      }
+      const PeerId first = network_.JoinMany(keys, caps);
+      const Overlay& overlay = *config_.overlay;
+      const TopologySnapshot& frozen = *epoch;
+      std::vector<PeerLinkPlan> plans(wave);
+      ParallelFor(threads, wave, [&](size_t i) {
+        Rng joiner_rng =
+            Rng::Fork(epoch_salt ^ kJoinStreamSalt, epoch_index,
+                      first + static_cast<PeerId>(i));
+        plans[i] =
+            overlay.PlanJoinLinks(frozen, keys[i], caps[i], &joiner_rng);
+      });
+      // Apply in join order against the live network: p2c pairs resolve
+      // against the loads earlier joiners' links just produced, exactly
+      // as they would joining one at a time.
+      uint64_t sampling_steps = 0;
+      for (size_t i = 0; i < wave; ++i) {
+        network_.ApplyLinkPlan(first + static_cast<PeerId>(i),
+                               plans[i].candidates, plans[i].budget);
+        sampling_steps += plans[i].sampling_steps;
+      }
+      config_.overlay->AddSamplingSteps(sampling_steps);
+    } else {
+      const PeerId id =
+          network_.Join(config_.key_distribution->Sample(&rng),
+                        config_.degree_distribution->Sample(&rng));
+      const Status built = config_.overlay->BuildLinks(&network_, id, &rng);
+      if (!built.ok()) return built;
+    }
 
     while (next_checkpoint < checkpoints.size() &&
            network_.alive_count() == checkpoints[next_checkpoint]) {
@@ -225,6 +297,12 @@ Result<GrowthResult> Simulation::Run() {
         if (!status.ok()) return status;
       }
       ++next_checkpoint;
+      // The rewire replaced every long link: plans drawn against the
+      // pre-checkpoint epoch would be stale by a whole rewire.
+      if (batch_joins) refresh_epoch();
+    }
+    if (batch_joins && network_.alive_count() >= epoch_refresh_at) {
+      refresh_epoch();
     }
   }
   return result;

@@ -92,6 +92,21 @@ struct GrowthConfig {
   /// any thread count: each peer plans from its own forked rng stream
   /// and plans are applied in a salt-shuffled deterministic order.
   uint32_t rewire_threads = 0;
+  /// Joins planned per wave between checkpoints. 0 (default) keeps the
+  /// historical sequential path: each joiner wires itself against the
+  /// live network via BuildLinks, consuming the main growth rng —
+  /// byte-identical to every prior release. k >= 1 switches overlays
+  /// that support join planning to the batched path: joiners are
+  /// admitted in waves of up to k (Network::JoinMany), each planned
+  /// read-only over a shared EPOCH snapshot on its own forked rng
+  /// stream (parallel across rewire_threads), then applied in join
+  /// order against the live network. Epoch snapshots are refreshed at
+  /// deterministic alive-count thresholds (~12.5% growth, and after
+  /// every checkpoint rewire), NOT per wave — so the grown topology is
+  /// byte-identical for every k >= 1 at every thread count; k trades
+  /// snapshot-staleness granularity purely against planning fan-out.
+  /// Overlays without join planning ignore this and stay sequential.
+  uint32_t join_batch = 0;
   /// Optional per-checkpoint callback (e.g. crash a copy and evaluate
   /// under churn). Runs after the built-in evaluation.
   std::function<Status(const Network&, size_t checkpoint_size, Rng* rng)>

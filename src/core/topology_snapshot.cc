@@ -2,24 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
-#include <cstdlib>
 
 namespace oscar {
 namespace {
 
-/// CHECK-style guard for the 32-bit CSR offsets and ring positions: a
-/// build whose edge arrays (or ring) no longer fit must fail loudly
-/// instead of silently wrapping the casts and corrupting every row.
-void CheckFitsU32(size_t value, const char* what) {
-  if (value > static_cast<size_t>(UINT32_MAX)) {
-    std::fprintf(stderr,
-                 "TopologySnapshot: %s (%zu) exceeds the 32-bit CSR limit "
-                 "(%u); refusing to build a corrupt snapshot\n",
-                 what, value, UINT32_MAX);
-    std::abort();
-  }
-}
+// 32 -> 64-bit promotion threshold for CSR offsets. Edge totals at or
+// below it store 32-bit offsets; above it the snapshot promotes to
+// 64-bit storage. Test-settable so the wide path can be exercised
+// without building 4 billion edges.
+std::atomic<uint64_t> g_wide_threshold{UINT32_MAX};
 
 uint64_t NextSnapshotToken() {
   static std::atomic<uint64_t> counter{0};
@@ -28,37 +19,51 @@ uint64_t NextSnapshotToken() {
 
 }  // namespace
 
+uint64_t TopologySnapshot::SetWideOffsetThresholdForTest(uint64_t threshold) {
+  return g_wide_threshold.exchange(threshold);
+}
+
 TopologySnapshot::TopologySnapshot(const Network& net)
-    : ring_(net.ring()), token_(NextSnapshotToken()) {
-  const size_t n = net.size();
-  keys_.reserve(n);
-  caps_.reserve(n);
-  alive_.reserve(n);
-  out_offsets_.reserve(n + 1);
-  in_offsets_.reserve(n + 1);
-  size_t total_out = 0, total_in = 0;
+    : keys_(net.keys_),
+      caps_(net.caps_),
+      alive_(net.alive_),
+      ring_(net.ring()),
+      token_(NextSnapshotToken()) {
+  const size_t n = keys_.size();
+  uint64_t total_out = 0, total_in = 0;
   for (PeerId id = 0; id < n; ++id) {
-    total_out += net.peer(id).long_out.size();
-    total_in += net.peer(id).long_in_peers.size();
+    total_out += net.out_count_[id];
+    total_in += net.in_count_[id];
   }
-  CheckFitsU32(total_out, "total out-edge count");
-  CheckFitsU32(total_in, "total in-edge count");
-  CheckFitsU32(ring_.size(), "ring size");
+  const uint64_t threshold = g_wide_threshold.load(std::memory_order_relaxed);
+  wide_ = total_out > threshold || total_in > threshold;
   out_edges_.reserve(total_out);
   in_edges_.reserve(total_in);
-  out_offsets_.push_back(0);
-  in_offsets_.push_back(0);
+  const auto push_offsets = [&](uint64_t out_off, uint64_t in_off) {
+    if (wide_) {
+      out_offsets64_.push_back(out_off);
+      in_offsets64_.push_back(in_off);
+    } else {
+      out_offsets32_.push_back(static_cast<uint32_t>(out_off));
+      in_offsets32_.push_back(static_cast<uint32_t>(in_off));
+    }
+  };
+  if (wide_) {
+    out_offsets64_.reserve(n + 1);
+    in_offsets64_.reserve(n + 1);
+  } else {
+    out_offsets32_.reserve(n + 1);
+    in_offsets32_.reserve(n + 1);
+  }
+  push_offsets(0, 0);
   for (PeerId id = 0; id < n; ++id) {
-    const Peer& peer = net.peer(id);
-    keys_.push_back(peer.key);
-    caps_.push_back(peer.caps);
-    alive_.push_back(peer.alive ? 1 : 0);
-    out_edges_.insert(out_edges_.end(), peer.long_out.begin(),
-                      peer.long_out.end());
-    in_edges_.insert(in_edges_.end(), peer.long_in_peers.begin(),
-                     peer.long_in_peers.end());
-    out_offsets_.push_back(static_cast<uint32_t>(out_edges_.size()));
-    in_offsets_.push_back(static_cast<uint32_t>(in_edges_.size()));
+    // Pack each peer's live slab prefix; the unused slab tail (capacity
+    // beyond count) is dropped — snapshots are exactly-sized.
+    const PeerSpan out = net.OutLinks(id);
+    out_edges_.insert(out_edges_.end(), out.begin(), out.end());
+    const PeerSpan in = net.InLinks(id);
+    in_edges_.insert(in_edges_.end(), in.begin(), in.end());
+    push_offsets(out_edges_.size(), in_edges_.size());
   }
   ring_pos_.assign(n, kNotOnRing);
   for (size_t pos = 0; pos < ring_.size(); ++pos) {
@@ -84,24 +89,37 @@ Network TopologySnapshot::Restore() const {
 
 void TopologySnapshot::RestoreInto(Network* net) const {
   const size_t n = size();
-  // Repair one peer's row from the flat arrays; vector assign() reuses
-  // the row's existing capacity on a recycled network.
+  // Repair one peer's row from the flat arrays. Caps are immutable per
+  // peer, so an id's slab region is the same in every restore of the
+  // same snapshot — a repair is two row copies plus scalar stores.
   const auto repair = [&](PeerId id) {
-    Peer& peer = net->peers_[id];
-    peer.key = keys_[id];
-    peer.caps = caps_[id];
-    peer.alive = alive(id);
+    net->keys_[id] = keys_[id];
+    net->caps_[id] = caps_[id];
+    net->alive_[id] = alive_[id];
     const PeerSpan out = OutLinks(id);
-    peer.long_out.assign(out.begin(), out.end());
+    std::copy(out.begin(), out.end(),
+              net->out_slab_.data() + net->out_base_[id]);
+    net->out_count_[id] = static_cast<uint32_t>(out.size());
     const PeerSpan in = InLinks(id);
-    peer.long_in_peers.assign(in.begin(), in.end());
-    peer.long_in = static_cast<uint32_t>(peer.long_in_peers.size());
+    std::copy(in.begin(), in.end(), net->in_slab_.data() + net->in_base_[id]);
+    net->in_count_[id] = static_cast<uint32_t>(in.size());
   };
   const bool delta = token_ != 0 && net->restore_token_ == token_ &&
-                     net->journal_active_ && net->peers_.size() >= n &&
+                     net->journal_active_ && net->keys_.size() >= n &&
                      net->journal_.size() < n;
   if (delta) {
-    net->peers_.resize(n);  // Drop peers joined since the last restore.
+    // Drop peers joined since the last restore: truncate every parallel
+    // array — and both slabs — back to the snapshot's extent. Bases of
+    // surviving peers are unchanged (caps are join-time constants).
+    net->keys_.resize(n);
+    net->caps_.resize(n);
+    net->alive_.resize(n);
+    net->out_base_.resize(n + 1);
+    net->in_base_.resize(n + 1);
+    net->out_count_.resize(n);
+    net->in_count_.resize(n);
+    net->out_slab_.resize(net->out_base_[n]);
+    net->in_slab_.resize(net->in_base_[n]);
     std::sort(net->journal_.begin(), net->journal_.end());
     net->journal_.erase(
         std::unique(net->journal_.begin(), net->journal_.end()),
@@ -110,7 +128,23 @@ void TopologySnapshot::RestoreInto(Network* net) const {
       if (id < n) repair(id);  // >= n: joined peers, already dropped.
     }
   } else {
-    net->peers_.resize(n);
+    // Full rebuild: bulk array copies (reusing `net`'s allocations when
+    // they are large enough) plus a prefix-sum pass to lay out slabs.
+    net->keys_ = keys_;
+    net->caps_ = caps_;
+    net->alive_ = alive_;
+    net->out_base_.resize(n + 1);
+    net->in_base_.resize(n + 1);
+    net->out_base_[0] = 0;
+    net->in_base_[0] = 0;
+    for (size_t i = 0; i < n; ++i) {
+      net->out_base_[i + 1] = net->out_base_[i] + caps_[i].max_out;
+      net->in_base_[i + 1] = net->in_base_[i] + caps_[i].max_in;
+    }
+    net->out_count_.resize(n);
+    net->in_count_.resize(n);
+    net->out_slab_.resize(net->out_base_[n]);
+    net->in_slab_.resize(net->in_base_[n]);
     for (PeerId id = 0; id < n; ++id) repair(id);
   }
   net->ring_ = ring_;

@@ -7,6 +7,11 @@
 // to the one the snapshot was taken from — the substrate for replaying
 // many crash/churn variants against one grown topology instead of
 // regrowing or deep-copying it.
+//
+// CSR offsets are 32-bit by default (cache-dense; every practical tier
+// fits) and promote to 64-bit storage when an edge total crosses
+// kWideOffsetThreshold — the guard that used to abort a >4B-edge build
+// now just widens the offsets instead.
 
 #ifndef OSCAR_CORE_TOPOLOGY_SNAPSHOT_H_
 #define OSCAR_CORE_TOPOLOGY_SNAPSHOT_H_
@@ -22,26 +27,11 @@
 
 namespace oscar {
 
-/// Non-owning view of a contiguous run of peer ids (a CSR row or a
-/// live Network's link vector). C++17 stand-in for std::span.
-struct PeerSpan {
-  const PeerId* ptr = nullptr;
-  size_t count = 0;
-
-  const PeerId* begin() const { return ptr; }
-  const PeerId* end() const { return ptr + count; }
-  size_t size() const { return count; }
-  bool empty() const { return count == 0; }
-  PeerId operator[](size_t i) const { return ptr[i]; }
-};
-
 class TopologySnapshot {
  public:
   TopologySnapshot() = default;
-  /// Freezes `net` in one pass over its peer table and ring index.
-  /// Aborts loudly (CHECK-style, message on stderr) if the edge arrays
-  /// or ring would overflow the 32-bit CSR offsets — a >4B-edge build
-  /// must fail instead of silently corrupting the offsets.
+  /// Freezes `net` in one pass over its flat peer table (bulk copies of
+  /// the key/caps/alive arrays, slab rows packed into CSR).
   explicit TopologySnapshot(const Network& net);
 
   size_t size() const { return keys_.size(); }
@@ -51,16 +41,31 @@ class TopologySnapshot {
   DegreeCaps caps(PeerId id) const { return caps_[id]; }
   const Ring& ring() const { return ring_; }
 
+  /// Dual-width CSR offset view: one predictable branch selects the
+  /// 32-bit (default) or promoted 64-bit array. Steppers index it per
+  /// hop; the branch is free next to the cache miss on the edge row.
+  struct CsrOffsets {
+    const uint32_t* narrow = nullptr;
+    const uint64_t* wide = nullptr;
+    uint64_t operator[](size_t i) const {
+      return narrow != nullptr ? narrow[i] : wide[i];
+    }
+  };
+
   /// Long out-links of `id`, in the exact order the live Network held
   /// them (possibly dangling to dead peers). In-links are the alive
   /// peers that held a link to `id` at freeze time.
   PeerSpan OutLinks(PeerId id) const {
-    return {out_edges_.data() + out_offsets_[id],
-            out_offsets_[id + 1] - out_offsets_[id]};
+    const CsrOffsets offsets = out_offsets();
+    const uint64_t begin = offsets[id];
+    return {out_edges_.data() + begin,
+            static_cast<size_t>(offsets[id + 1] - begin)};
   }
   PeerSpan InLinks(PeerId id) const {
-    return {in_edges_.data() + in_offsets_[id],
-            in_offsets_[id + 1] - in_offsets_[id]};
+    const CsrOffsets offsets = in_offsets();
+    const uint64_t begin = offsets[id];
+    return {in_edges_.data() + begin,
+            static_cast<size_t>(offsets[id + 1] - begin)};
   }
 
   std::optional<PeerId> OwnerOf(KeyId key) const { return ring_.OwnerOf(key); }
@@ -100,12 +105,27 @@ class TopologySnapshot {
   const KeyId* keys_data() const { return keys_.data(); }
   const DegreeCaps* caps_data() const { return caps_.data(); }
   const uint8_t* alive_data() const { return alive_.data(); }
-  const uint32_t* out_offsets_data() const { return out_offsets_.data(); }
+  CsrOffsets out_offsets() const {
+    return wide_ ? CsrOffsets{nullptr, out_offsets64_.data()}
+                 : CsrOffsets{out_offsets32_.data(), nullptr};
+  }
+  CsrOffsets in_offsets() const {
+    return wide_ ? CsrOffsets{nullptr, in_offsets64_.data()}
+                 : CsrOffsets{in_offsets32_.data(), nullptr};
+  }
   const PeerId* out_edges_data() const { return out_edges_.data(); }
+  /// True when the edge totals crossed the promotion threshold and this
+  /// snapshot stores 64-bit offsets.
+  bool wide_offsets() const { return wide_; }
   /// Ring position of `id` (kNotOnRing when dead) — the O(1) index
   /// behind SuccessorOf/PredecessorOf, exposed so steppers can walk the
   /// ring without optional-wrapping each neighbor.
   uint32_t ring_pos(PeerId id) const { return ring_pos_[id]; }
+
+  /// Test hook: lowers the 32 -> 64-bit promotion threshold so the wide
+  /// path can be exercised without materializing 4 billion edges.
+  /// Returns the previous value; pass UINT32_MAX to restore the default.
+  static uint64_t SetWideOffsetThresholdForTest(uint64_t threshold);
 
  private:
   std::optional<PeerId> RingNeighbor(PeerId id, bool clockwise) const;
@@ -113,11 +133,15 @@ class TopologySnapshot {
   std::vector<KeyId> keys_;
   std::vector<DegreeCaps> caps_;
   std::vector<uint8_t> alive_;
-  // CSR link storage: row i spans [offsets[i], offsets[i + 1]).
-  std::vector<uint32_t> out_offsets_;
+  // CSR link storage: row i spans [offsets[i], offsets[i + 1]). Exactly
+  // one of the 32/64-bit offset arrays is populated, per `wide_`.
+  std::vector<uint32_t> out_offsets32_;
+  std::vector<uint32_t> in_offsets32_;
+  std::vector<uint64_t> out_offsets64_;
+  std::vector<uint64_t> in_offsets64_;
   std::vector<PeerId> out_edges_;
-  std::vector<uint32_t> in_offsets_;
   std::vector<PeerId> in_edges_;
+  bool wide_ = false;
   // Position of each alive peer in ring order (kNotOnRing when dead).
   std::vector<uint32_t> ring_pos_;
   Ring ring_;

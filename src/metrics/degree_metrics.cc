@@ -11,15 +11,15 @@ DegreeLoadReport ComputeDegreeLoad(const Network& net) {
   double offered = 0.0, realized = 0.0;
   size_t saturated = 0, counted = 0;
   for (PeerId id : net.AlivePeers()) {
-    const Peer& peer = net.peer(id);
-    if (peer.caps.max_in == 0) continue;
+    const DegreeCaps caps = net.caps(id);
+    if (caps.max_in == 0) continue;
     ++counted;
-    offered += peer.caps.max_in;
-    realized += peer.long_in;
-    if (peer.long_in >= peer.caps.max_in) ++saturated;
+    offered += caps.max_in;
+    realized += net.in_degree(id);
+    if (net.in_degree(id) >= caps.max_in) ++saturated;
     report.sorted_relative_load.push_back(
-        static_cast<double>(peer.long_in) /
-        static_cast<double>(peer.caps.max_in));
+        static_cast<double>(net.in_degree(id)) /
+        static_cast<double>(caps.max_in));
   }
   std::sort(report.sorted_relative_load.begin(),
             report.sorted_relative_load.end());

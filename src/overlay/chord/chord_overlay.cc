@@ -7,8 +7,8 @@ namespace oscar {
 Status ChordOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
   (void)rng;  // Chord's finger table is deterministic.
   const size_t n = net->alive_count();
-  if (n < 3 || !net->peer(id).alive) return Status::Ok();
-  const KeyId own_key = net->peer(id).key;
+  if (n < 3 || !net->alive(id)) return Status::Ok();
+  const KeyId own_key = net->key(id);
 
   // The classic finger table: ceil(log2 N) fingers at halving key-space
   // distances. Under the uniform-key assumption finer fingers would all

@@ -6,8 +6,8 @@ namespace oscar {
 
 Status KleinbergOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
   const size_t n = net->alive_count();
-  if (n < 3 || !net->peer(id).alive) return Status::Ok();
-  const auto index = net->ring().IndexOf(net->peer(id).key, id);
+  if (n < 3 || !net->alive(id)) return Status::Ok();
+  const auto index = net->ring().IndexOf(net->key(id), id);
   if (!index.has_value()) return Status::Error("peer missing from ring");
 
   const double log_span = std::log(static_cast<double>(n - 1));

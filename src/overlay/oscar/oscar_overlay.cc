@@ -47,27 +47,33 @@ KeyId OscarPartitioner::SampledMedian(NetworkView net, PeerId id,
 
 std::vector<RingSegment> OscarPartitioner::ComputePartitions(
     NetworkView net, PeerId id, Rng* rng, uint64_t* steps) const {
+  if (!net.alive(id)) return {};
+  return ComputePartitionsFromKey(net, id, net.key(id), rng, steps);
+}
+
+std::vector<RingSegment> OscarPartitioner::ComputePartitionsFromKey(
+    NetworkView net, PeerId origin, KeyId self_key, Rng* rng,
+    uint64_t* steps) const {
   if (steps == nullptr) steps = sampling_steps_;
   std::vector<RingSegment> partitions;
-  if (!net.alive(id) || net.alive_count() < 3) return partitions;
+  if (net.alive_count() < 3) return partitions;
 
-  // The full ring except the peer itself: clockwise from just after our
-  // key back around to it.
-  const KeyId self_key = net.key(id);
+  // The full ring except the vantage key itself: clockwise from just
+  // after it back around to it.
   RingSegment remaining{KeyId::FromRaw(self_key.raw + 1), self_key};
   if (net.ring().CountInSegment(remaining.from, remaining.to) == 0) {
     return partitions;
   }
 
   const double n_hat =
-      options_->size_estimator->Estimate(net, id, rng);
+      options_->size_estimator->Estimate(net, origin, rng);
   const uint32_t k = std::min(
       options_->max_partitions,
       std::max(1u, static_cast<uint32_t>(std::floor(
                        std::log2(std::max(2.0, n_hat))))));
 
   for (uint32_t level = 0; level + 1 < k; ++level) {
-    const KeyId median = SampledMedian(net, id, remaining, rng, steps);
+    const KeyId median = SampledMedian(net, origin, remaining, rng, steps);
     // Guard degenerate cuts that would empty either side.
     if (median == remaining.from || median == remaining.to) break;
     const RingSegment far_half{median, remaining.to};
@@ -119,7 +125,7 @@ std::optional<LinkCandidate> OscarOverlay::SampleLinkCandidate(
 }
 
 Status OscarOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
-  if (!net->peer(id).alive) return Status::Ok();
+  if (!net->alive(id)) return Status::Ok();
   uint32_t budget = net->RemainingOutBudget(id);
   if (budget == 0 || net->alive_count() < 3) return Status::Ok();
 
@@ -138,8 +144,8 @@ Status OscarOverlay::BuildLinks(Network* net, PeerId id, Rng* rng) {
       // against the loads the links it just placed have produced.
       PeerId target = candidate->primary;
       if (candidate->alternate != candidate->primary &&
-          RelativeInLoad(net->peer(candidate->alternate)) <
-              RelativeInLoad(net->peer(candidate->primary))) {
+          net->RelativeInLoad(candidate->alternate) <
+              net->RelativeInLoad(candidate->primary)) {
         target = candidate->alternate;
       }
       if (net->AddLongLink(id, target)) {
@@ -166,13 +172,38 @@ PeerLinkPlan OscarOverlay::PlanLinks(NetworkView net, PeerId id,
       partitioner_.ComputePartitions(net, id, rng, &plan.sampling_steps);
   if (partitions.empty()) return plan;
 
+  FillPlanSlots(net, id, partitions, &plan, rng);
+  return plan;
+}
+
+PeerLinkPlan OscarOverlay::PlanJoinLinks(NetworkView net, KeyId key,
+                                         DegreeCaps caps, Rng* rng) const {
+  PeerLinkPlan plan;
+  // A joiner starts linkless, so its budget is the full out-cap.
+  plan.budget = caps.max_out;
+  if (plan.budget == 0 || net.alive_count() < 3) return plan;
+  // The joiner is not in `net`: walks originate at the owner of its
+  // key — the bootstrap contact a real join would route to first.
+  const auto origin = net.OwnerOf(key);
+  if (!origin.has_value()) return plan;
+  const std::vector<RingSegment> partitions =
+      partitioner_.ComputePartitionsFromKey(net, *origin, key, rng,
+                                            &plan.sampling_steps);
+  if (partitions.empty()) return plan;
+  FillPlanSlots(net, *origin, partitions, &plan, rng);
+  return plan;
+}
+
+void OscarOverlay::FillPlanSlots(NetworkView net, PeerId origin,
+                                 const std::vector<RingSegment>& partitions,
+                                 PeerLinkPlan* plan, Rng* rng) const {
   // Sampling runs over the intact frozen topology (links still up —
   // what a live peer's walks would actually traverse); feasibility and
   // the p2c pair resolution belong to the apply phase, where loads are
   // live. Planning only rejects what the peer itself can see:
   // re-sampled primaries already slotted in its own plan.
   const size_t slots =
-      static_cast<size_t>(plan.budget) + options_.plan_backup_slots;
+      static_cast<size_t>(plan->budget) + options_.plan_backup_slots;
   // Stratified first round — one slot pinned to each partition,
   // farthest first — then uniform partition draws, the paper's
   // construction (one neighbor per partition) generalized to budgets
@@ -180,23 +211,23 @@ PeerLinkPlan OscarOverlay::PlanLinks(NetworkView net, PeerId id,
   // peers with no far link at all (Binomial variance), and those
   // missing longest hops are exactly what greedy routing pays for
   // most.
-  for (size_t slot = 0; plan.candidates.size() < slots; ++slot) {
+  for (size_t slot = 0; plan->candidates.size() < slots; ++slot) {
     const RingSegment* pinned =
-        slot < partitions.size() && slot < plan.budget ? &partitions[slot]
-                                                       : nullptr;
+        slot < partitions.size() && slot < plan->budget ? &partitions[slot]
+                                                        : nullptr;
     bool found = false;
     for (uint32_t attempt = 0; attempt < options_.attempts_per_link;
          ++attempt) {
       const auto candidate = SampleLinkCandidate(
-          net, id, partitions, rng, &plan.sampling_steps, pinned);
+          net, origin, partitions, rng, &plan->sampling_steps, pinned);
       if (!candidate.has_value()) continue;
       const bool seen =
-          std::find_if(plan.candidates.begin(), plan.candidates.end(),
+          std::find_if(plan->candidates.begin(), plan->candidates.end(),
                        [&](const LinkCandidate& c) {
                          return c.primary == candidate->primary;
-                       }) != plan.candidates.end();
+                       }) != plan->candidates.end();
       if (seen) continue;
-      plan.candidates.push_back(*candidate);
+      plan->candidates.push_back(*candidate);
       found = true;
       break;
     }
@@ -205,7 +236,6 @@ PeerLinkPlan OscarOverlay::PlanLinks(NetworkView net, PeerId id,
     // the partitions are out of fresh candidates everywhere.
     if (!found && pinned == nullptr) break;
   }
-  return plan;
 }
 
 }  // namespace oscar

@@ -58,6 +58,15 @@ class OscarPartitioner {
                                              Rng* rng,
                                              uint64_t* steps = nullptr) const;
 
+  /// Partitions as seen from a key that need not belong to any peer in
+  /// `net` — the joiner's view before it joins. Sampling walks start at
+  /// `origin` (an alive peer, typically the owner of `self_key`).
+  /// ComputePartitions(net, id, ...) is exactly this with origin == id
+  /// and self_key == net.key(id).
+  std::vector<RingSegment> ComputePartitionsFromKey(
+      NetworkView net, PeerId origin, KeyId self_key, Rng* rng,
+      uint64_t* steps) const;
+
  private:
   /// Median key of the clockwise segment, by sampling; falls back to the
   /// key-space midpoint when sampling fails.
@@ -88,6 +97,14 @@ class OscarOverlay : public Overlay {
   bool SupportsPlanning() const override { return true; }
   PeerLinkPlan PlanLinks(NetworkView net, PeerId id,
                          Rng* rng) const override;
+
+  /// Join-time plan for a peer not yet in `net`: partitions computed
+  /// from the joiner's key with walks originating at the key's owner,
+  /// then the same stratified slot fill as PlanLinks. Thread-safe.
+  bool SupportsJoinPlanning() const override { return true; }
+  PeerLinkPlan PlanJoinLinks(NetworkView net, KeyId key, DegreeCaps caps,
+                             Rng* rng) const override;
+
   void AddSamplingSteps(uint64_t steps) override { sampling_steps_ += steps; }
 
   uint64_t sampling_steps() const override { return sampling_steps_; }
@@ -106,6 +123,15 @@ class OscarOverlay : public Overlay {
       NetworkView net, PeerId id, const std::vector<RingSegment>& partitions,
       Rng* rng, uint64_t* steps,
       const RingSegment* fixed_segment = nullptr) const;
+
+  /// The shared slot loop of PlanLinks and PlanJoinLinks: stratified
+  /// first round over `partitions`, then uniform draws, deduped on
+  /// primaries, until budget + plan_backup_slots candidates are filled.
+  /// `origin` is the walk origin (the peer itself when rewiring, the
+  /// joiner key's owner when join-planning).
+  void FillPlanSlots(NetworkView net, PeerId origin,
+                     const std::vector<RingSegment>& partitions,
+                     PeerLinkPlan* plan, Rng* rng) const;
 
   OscarOptions options_;
   uint64_t sampling_steps_ = 0;

@@ -63,6 +63,29 @@ class Overlay {
     return PeerLinkPlan{};
   }
 
+  /// Plans the long links a NOT-yet-joined peer (known only by its
+  /// `key` and degree `caps`) would build, read-only against `net` —
+  /// typically a frozen epoch snapshot shared by a whole join batch.
+  /// Sampling walks originate at the snapshot owner of `key`, the peer
+  /// a real joiner would contact first. Must be thread-safe exactly
+  /// like PlanLinks: concurrent calls with per-joiner forked rngs, no
+  /// overlay state mutation. Overlays that return true from
+  /// SupportsPlanning() and want batched joins override this; the
+  /// default plans nothing (Simulation then keeps such overlays on the
+  /// sequential per-join path).
+  virtual PeerLinkPlan PlanJoinLinks(NetworkView net, KeyId key,
+                                     DegreeCaps caps, Rng* rng) const {
+    (void)net;
+    (void)key;
+    (void)caps;
+    (void)rng;
+    return PeerLinkPlan{};
+  }
+
+  /// True when PlanJoinLinks is implemented — the gate for the batched
+  /// join path (join_batch > 0 in GrowthConfig).
+  virtual bool SupportsJoinPlanning() const { return false; }
+
   /// Folds sampling spend measured outside BuildLinks (the planning
   /// fan-out) back into sampling_steps(). No-op for oracle overlays.
   virtual void AddSamplingSteps(uint64_t steps) { (void)steps; }

@@ -24,9 +24,9 @@ inline void ForEachNeighbor(const TopologySnapshot& snap, PeerId id,
     fn(succ);
     if (pred != succ) fn(pred);
   }
-  const uint32_t* offsets = snap.out_offsets_data();
+  const TopologySnapshot::CsrOffsets offsets = snap.out_offsets();
   const PeerId* edges = snap.out_edges_data();
-  for (uint32_t e = offsets[id]; e < offsets[id + 1]; ++e) fn(edges[e]);
+  for (uint64_t e = offsets[id]; e < offsets[id + 1]; ++e) fn(edges[e]);
 }
 
 }  // namespace

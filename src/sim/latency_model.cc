@@ -19,7 +19,7 @@ LatencyModel::LatencyModel(const Network& net, const LatencyOptions& options,
   delays_ms_.reserve(net.size());
   for (size_t i = 0; i < net.size(); ++i) {
     delays_ms_.push_back(
-        DelayForKey(net.peer(static_cast<PeerId>(i)).key, options_));
+        DelayForKey(net.key(static_cast<PeerId>(i)), options_));
   }
 }
 

@@ -115,7 +115,7 @@ double MessageSim::ServiceMsFor(PeerId peer) const {
   if (options_.slow_fraction <= 0.0) return options_.service_ms;
   // Splitmix64 of the ring key: slow membership is a stable property of
   // the peer, consumes no rng draws, and survives churn joins.
-  uint64_t z = net_->peer(peer).key.raw + 0x9e3779b97f4a7c15ULL;
+  uint64_t z = net_->key(peer).raw + 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   z ^= z >> 31;
@@ -131,7 +131,7 @@ void MessageSim::EndService(PeerId peer) {
   state.queue.pop_front();
   state.busy = false;
   if (!state.queue.empty()) BeginService(peer);
-  if (!net_->peer(peer).alive) {
+  if (!net_->alive(peer)) {
     // The peer crashed with this message aboard. Nobody answers; the
     // upstream peer notices through its ack timeout.
     Emit(TraceKind::kStranded, id, peer, kTraceNone, 0);
@@ -206,7 +206,7 @@ void MessageSim::SendPending(uint64_t id, double extra_delay_ms) {
   const SimTime sent_at = engine_->now() + extra_delay_ms;
   engine_->ScheduleAt(sent_at + HopDelayMs(to), [this, id, to, sent_at] {
     if (outcomes_[id].finished) return;
-    if (!net_->peer(to).alive) {
+    if (!net_->alive(to)) {
       // Crashed while the message was in flight: delivery fails and the
       // sender only learns by silence, one ack timeout after sending.
       engine_->ScheduleAt(sent_at + options_.timeout_ms,
@@ -222,7 +222,7 @@ void MessageSim::HandleTimeout(uint64_t id) {
   ++timeouts_;
   Lookup& lookup = lookups_[id];
   RouteStepper& stepper = *lookup.stepper;
-  if (!net_->peer(lookup.pending_dest).alive) {
+  if (!net_->alive(lookup.pending_dest)) {
     // Crash discovered by silence: revert the unanswered hop and route
     // around it. (Also reached with a stale pending_dest when the peer
     // holding the query died — the revert unwinds past that peer, which
@@ -287,7 +287,7 @@ void MessageSim::Finish(uint64_t id) {
 
 double MessageSim::HopDelayMs(PeerId to) const {
   if (options_.zero_latency) return 0.0;
-  return LatencyModel::DelayForKey(net_->peer(to).key, options_.latency);
+  return LatencyModel::DelayForKey(net_->key(to), options_.latency);
 }
 
 MessageSimReport MessageSim::Report() const {

@@ -40,7 +40,7 @@ AvailabilityReport ReplicatedStore::CheckAvailability(
   for (const Item& item : items_) {
     bool any_alive = false;
     for (PeerId holder : item.holders) {
-      if (net.peer(holder).alive) {
+      if (net.alive(holder)) {
         any_alive = true;
         break;
       }
@@ -62,7 +62,7 @@ size_t ReplicatedStore::ReReplicate(const Network& net) {
   for (Item& item : items_) {
     bool any_alive = false;
     for (PeerId holder : item.holders) {
-      if (net.peer(holder).alive) {
+      if (net.alive(holder)) {
         any_alive = true;
         break;
       }

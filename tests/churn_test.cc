@@ -29,7 +29,7 @@ TEST(ChurnTest, CrashFractionCrashesExactCount) {
   // The ring index and the per-peer alive flags must agree.
   size_t alive_flags = 0;
   for (size_t id = 0; id < net.size(); ++id) {
-    if (net.peer(static_cast<PeerId>(id)).alive) ++alive_flags;
+    if (net.alive(static_cast<PeerId>(id))) ++alive_flags;
   }
   EXPECT_EQ(alive_flags, net.alive_count());
 }
@@ -41,8 +41,8 @@ TEST(ChurnTest, CrashFractionIsDeterministicPerSeed) {
   ASSERT_TRUE(CrashFraction(&a, 0.25, &rng_a).ok());
   ASSERT_TRUE(CrashFraction(&b, 0.25, &rng_b).ok());
   for (size_t id = 0; id < a.size(); ++id) {
-    EXPECT_EQ(a.peer(static_cast<PeerId>(id)).alive,
-              b.peer(static_cast<PeerId>(id)).alive);
+    EXPECT_EQ(a.alive(static_cast<PeerId>(id)),
+              b.alive(static_cast<PeerId>(id)));
   }
 }
 
@@ -73,9 +73,9 @@ TEST(ChurnTest, CrashReleasesInDegreeHeldByCrashedPeers) {
   // long links (dangling links from dead peers were released).
   size_t in_sum = 0, alive_links = 0;
   for (PeerId id : net.AlivePeers()) {
-    in_sum += net.peer(id).long_in;
-    for (PeerId t : net.peer(id).long_out) {
-      if (net.peer(t).alive) ++alive_links;
+    in_sum += net.in_degree(id);
+    for (PeerId t : net.OutLinks(id)) {
+      if (net.alive(t)) ++alive_links;
     }
   }
   EXPECT_EQ(in_sum, alive_links);

@@ -60,7 +60,7 @@ TEST(MessageSimTest, TotalLossExhaustsRetriesAndFailsTheLookup) {
   const std::vector<PeerId> alive = net.AlivePeers();
   const PeerId source = alive[0];
   // A key owned by someone else, so at least one transmission is needed.
-  const KeyId target = net.peer(alive[alive.size() / 2]).key;
+  const KeyId target = net.key(alive[alive.size() / 2]);
   ASSERT_NE(*net.OwnerOf(target), source);
   sim.SubmitLookupAt(0.0, source, target);
   engine.Run();
@@ -168,7 +168,7 @@ TEST(MessageSimTest, LookupsSurviveCrashesRacingDelivery) {
       for (int i = 0; i < 25; ++i) {
         const PeerId victim = still[static_cast<size_t>(
             churn_rng.UniformInt(still.size()))];
-        if (net.peer(victim).alive && net.alive_count() > 1) {
+        if (net.alive(victim) && net.alive_count() > 1) {
           net.Crash(victim);
         }
       }

@@ -53,10 +53,9 @@ TEST(OscarOverlayTest, BuildLinksFillsBudgetAndRespectsCaps) {
   }
   size_t total_out = 0;
   for (PeerId id : net.AlivePeers()) {
-    const Peer& peer = net.peer(id);
-    EXPECT_LE(peer.long_out.size(), peer.caps.max_out);
-    EXPECT_LE(peer.long_in, peer.caps.max_in);
-    total_out += peer.long_out.size();
+    EXPECT_LE(net.OutLinks(id).size(), net.caps(id).max_out);
+    EXPECT_LE(net.in_degree(id), net.caps(id).max_in);
+    total_out += net.OutLinks(id).size();
   }
   // The vast majority of the budget gets placed on a uniform network.
   EXPECT_GT(total_out, net.alive_count() * 8 * 7 / 10);
@@ -69,9 +68,12 @@ TEST(OscarOverlayTest, BuildLinksIsATopUp) {
   Rng rng(6);
   const PeerId u = net.AlivePeers().front();
   ASSERT_TRUE(overlay.BuildLinks(&net, u, &rng).ok());
-  const std::vector<PeerId> before = net.peer(u).long_out;
+  const PeerSpan out = net.OutLinks(u);
+  const std::vector<PeerId> before(out.begin(), out.end());
   ASSERT_TRUE(overlay.BuildLinks(&net, u, &rng).ok());
-  EXPECT_EQ(net.peer(u).long_out, before);  // Already full: no change.
+  const PeerSpan after = net.OutLinks(u);
+  EXPECT_EQ(std::vector<PeerId>(after.begin(), after.end()),
+            before);  // Already full: no change.
 }
 
 TEST(BaselineOverlaysTest, BuildWithinCaps) {
@@ -87,10 +89,9 @@ TEST(BaselineOverlaysTest, BuildWithinCaps) {
     }
     size_t linked_peers = 0;
     for (PeerId id : net.AlivePeers()) {
-      const Peer& peer = net.peer(id);
-      EXPECT_LE(peer.long_out.size(), peer.caps.max_out);
-      EXPECT_LE(peer.long_in, peer.caps.max_in);
-      if (!peer.long_out.empty()) ++linked_peers;
+      EXPECT_LE(net.OutLinks(id).size(), net.caps(id).max_out);
+      EXPECT_LE(net.in_degree(id), net.caps(id).max_in);
+      if (!net.OutLinks(id).empty()) ++linked_peers;
     }
     EXPECT_GT(linked_peers, net.alive_count() / 2) << overlay->name();
   }
@@ -110,8 +111,8 @@ TEST(MaintainerTest, RepairsDanglingLinksLazily) {
   EXPECT_GT(report.value().pruned_links, 0u);
   // After the round no alive peer keeps a dangling link.
   for (PeerId id : net.AlivePeers()) {
-    for (PeerId target : net.peer(id).long_out) {
-      EXPECT_TRUE(net.peer(target).alive);
+    for (PeerId target : net.OutLinks(id)) {
+      EXPECT_TRUE(net.alive(target));
     }
   }
 }

@@ -20,7 +20,9 @@
 namespace oscar {
 namespace {
 
-Result<GrowthConfig> Fig1cScaleConfig(uint32_t threads) {
+Result<GrowthConfig> Fig1cScaleConfig(uint32_t threads,
+                                      uint64_t seed = 42,
+                                      uint32_t join_batch = 0) {
   auto keys = MakeKeyDistribution("gnutella");
   if (!keys.ok()) return keys.status();
   auto degrees = MakePaperDegreeDistribution("realistic");
@@ -28,12 +30,13 @@ Result<GrowthConfig> Fig1cScaleConfig(uint32_t threads) {
   GrowthConfig config;
   config.target_size = 600;
   config.queries_per_checkpoint = 200;
-  config.seed = 42;
+  config.seed = seed;
   config.checkpoints = {150, 300, 600};
   config.key_distribution = std::move(keys).value();
   config.degree_distribution = std::move(degrees).value();
   config.overlay = std::make_shared<OscarOverlay>();
   config.rewire_threads = threads;
+  config.join_batch = join_batch;
   return config;
 }
 
@@ -60,9 +63,8 @@ std::string Serialize(const GrowthResult& result) {
 std::string SerializeTopology(const Network& net) {
   std::ostringstream os;
   for (PeerId id = 0; id < net.size(); ++id) {
-    const Peer& peer = net.peer(id);
-    os << id << ':' << peer.key.raw << '/' << peer.alive;
-    for (PeerId target : peer.long_out) os << ' ' << target;
+    os << id << ':' << net.key(id).raw << '/' << net.alive(id);
+    for (PeerId target : net.OutLinks(id)) os << ' ' << target;
     os << '\n';
   }
   return os.str();
@@ -100,15 +102,72 @@ TEST(ParallelRewireTest, RewiredNetworkKeepsItsLinkBudgetsFilled) {
   const Network& net = sim.network();
   uint64_t total_out = 0, total_budget = 0;
   for (PeerId id : net.AlivePeers()) {
-    total_out += net.peer(id).long_out.size();
-    total_budget += net.peer(id).caps.max_out;
+    total_out += net.OutLinks(id).size();
+    total_budget += net.caps(id).max_out;
   }
   EXPECT_GT(static_cast<double>(total_out),
             0.85 * static_cast<double>(total_budget));
   // Caps are enforced at apply exactly as in incremental construction.
   for (PeerId id : net.AlivePeers()) {
-    EXPECT_LE(net.peer(id).long_out.size(), net.peer(id).caps.max_out);
-    EXPECT_LE(net.peer(id).long_in, net.peer(id).caps.max_in);
+    EXPECT_LE(net.OutLinks(id).size(), net.caps(id).max_out);
+    EXPECT_LE(net.in_degree(id), net.caps(id).max_in);
+  }
+}
+
+TEST(ParallelRewireTest, BatchedJoinsAreByteIdenticalAcrossBatchAndThreads) {
+  // The batch-size independence contract: k only sets the planning-wave
+  // granularity — epoch snapshots refresh at alive-count thresholds, so
+  // growing with waves of 16 must produce byte-for-byte the topology of
+  // waves of 1, at any thread count. Seeds 42-45.
+  for (uint64_t seed = 42; seed <= 45; ++seed) {
+    std::string reference_topology, reference_result;
+    struct Variant {
+      uint32_t threads;
+      uint32_t join_batch;
+    };
+    for (const Variant v :
+         {Variant{1, 1}, Variant{1, 16}, Variant{4, 1}, Variant{4, 16}}) {
+      auto config = Fig1cScaleConfig(v.threads, seed, v.join_batch);
+      ASSERT_TRUE(config.ok()) << config.status();
+      Simulation sim(std::move(config).value());
+      auto run = sim.Run();
+      ASSERT_TRUE(run.ok()) << run.status();
+      const std::string topology = SerializeTopology(sim.network());
+      const std::string serialized = Serialize(run.value());
+      if (reference_topology.empty()) {
+        reference_topology = topology;
+        reference_result = serialized;
+        continue;
+      }
+      EXPECT_EQ(reference_topology, topology)
+          << "seed " << seed << " threads " << v.threads << " k "
+          << v.join_batch;
+      EXPECT_EQ(reference_result, serialized)
+          << "seed " << seed << " threads " << v.threads << " k "
+          << v.join_batch;
+    }
+  }
+}
+
+TEST(ParallelRewireTest, BatchedJoinsFillLinkBudgets) {
+  // Plans drawn over a stale epoch snapshot must still land their
+  // budgets at apply time (backup slots + p2c alternates absorb the
+  // staleness) — batching may not starve the grown topology.
+  auto config = Fig1cScaleConfig(4, 42, 32);
+  ASSERT_TRUE(config.ok()) << config.status();
+  Simulation sim(std::move(config).value());
+  ASSERT_TRUE(sim.Run().ok());
+  const Network& net = sim.network();
+  uint64_t total_out = 0, total_budget = 0;
+  for (PeerId id : net.AlivePeers()) {
+    total_out += net.OutLinks(id).size();
+    total_budget += net.caps(id).max_out;
+  }
+  EXPECT_GT(static_cast<double>(total_out),
+            0.85 * static_cast<double>(total_budget));
+  for (PeerId id : net.AlivePeers()) {
+    EXPECT_LE(net.OutLinks(id).size(), net.caps(id).max_out);
+    EXPECT_LE(net.in_degree(id), net.caps(id).max_in);
   }
 }
 

@@ -127,7 +127,7 @@ TEST(NetworkTest, LongLinkCapsEnforced) {
   EXPECT_EQ(net.RemainingOutBudget(a), 0u);
   net.ClearLongLinks(a);
   EXPECT_EQ(net.RemainingOutBudget(a), 2u);
-  EXPECT_EQ(net.peer(b).long_in, 0u);        // In-degree released.
+  EXPECT_EQ(net.in_degree(b), 0u);           // In-degree released.
 }
 
 }  // namespace

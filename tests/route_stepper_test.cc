@@ -121,7 +121,7 @@ TEST(RouteStepperTest, FailDeliveryRoutesAroundMidFlightCrash) {
     if (first.kind != StepKind::kForward) continue;
     // The chosen next hop dies while the message is in flight.
     copy.Crash(first.to);
-    if (!copy.peer(source).alive || copy.alive_count() < 2) continue;
+    if (!copy.alive(source) || copy.alive_count() < 2) continue;
     const uint32_t hops_before = stepper.result().hops;
     const uint32_t wasted_before = stepper.result().wasted;
     ASSERT_TRUE(stepper.FailDelivery(copy));
@@ -152,7 +152,7 @@ TEST(RouteStepperTest, FailDeliveryAtOriginReportsNothingToRevert) {
   Network net = LinkedNetwork(50, 20);
   GreedyStepper stepper;
   const PeerId source = net.AlivePeers().front();
-  stepper.Start(net, source, net.peer(source).key);
+  stepper.Start(net, source, net.key(source));
   EXPECT_FALSE(stepper.FailDelivery(net));
 }
 

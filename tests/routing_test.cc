@@ -44,7 +44,7 @@ TEST(GreedyRouterTest, RouteToOwnKeyIsFree) {
   Network net = LinkedNetwork(50, 3);
   GreedyRouter router;
   const PeerId source = net.AlivePeers().front();
-  const RouteResult route = router.Route(net, source, net.peer(source).key);
+  const RouteResult route = router.Route(net, source, net.key(source));
   EXPECT_TRUE(route.success);
   EXPECT_EQ(route.hops, 0u);
 }

@@ -30,7 +30,7 @@ TEST(OracleSamplerTest, SamplesInsideSegment) {
     auto sample = sampler.SampleInSegment(net, 0, from, to, &rng);
     ASSERT_TRUE(sample.ok());
     EXPECT_TRUE(
-        InClockwiseSegment(net.peer(sample.value().peer).key, from, to));
+        InClockwiseSegment(net.key(sample.value().peer), from, to));
   }
 }
 
@@ -53,7 +53,7 @@ TEST(RandomWalkSamplerTest, SamplesInsideSegmentIncludingSeam) {
     auto sample = sampler.SampleInSegment(net, origin, from, to, &rng);
     ASSERT_TRUE(sample.ok());
     EXPECT_TRUE(
-        InClockwiseSegment(net.peer(sample.value().peer).key, from, to));
+        InClockwiseSegment(net.key(sample.value().peer), from, to));
     EXPECT_GT(sample.value().steps, 0u);
   }
 }

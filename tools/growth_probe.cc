@@ -3,10 +3,16 @@
 // wall time of the checkpoint-rewiring phase — the post-PR4 growth
 // bottleneck — as one JSON object on stdout.
 //
+//   OSCAR_BENCH_SCALE  tier (smoke|n3000|paper|huge); "huge" switches
+//                      the overlay to oracle segment sampling (walks
+//                      are wall-clock-infeasible at 10^6 peers)
 //   OSCAR_BENCH_SIZE   target size (default 3000, the probe scale the
 //                      perf trajectory tracks)
 //   OSCAR_BENCH_SEED   growth seed (default 42)
-//   OSCAR_THREADS      rewiring worker threads (default 1)
+//   OSCAR_THREADS      rewiring/planning worker threads (default 1)
+//   OSCAR_JOIN_BATCH   joins planned per wave over a shared epoch
+//                      snapshot (default 0 = the sequential per-join
+//                      path; see GrowthConfig::join_batch)
 //
 // scripts/run_benches.sh runs it at 1 and max threads and folds the
 // rows into the BENCH artifact; scripts/compare_benches.py diffs them
@@ -16,6 +22,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -24,6 +33,8 @@
 #include "common/thread_pool.h"
 #include "core/experiments.h"
 #include "core/simulation.h"
+#include "overlay/oscar/oscar_overlay.h"
+#include "sampling/oracle_sampler.h"
 
 namespace {
 
@@ -43,12 +54,22 @@ long PeakRssKb() {
 #endif
 }
 
+uint32_t JoinBatchFromEnv() {
+  const char* value = std::getenv("OSCAR_JOIN_BATCH");
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  return (end == nullptr || *end != '\0') ? 0
+                                           : static_cast<uint32_t>(parsed);
+}
+
 }  // namespace
 
 int main() {
   using namespace oscar;
   const ExperimentScale scale = ScaleFromEnv();
   const uint32_t threads = ThreadCountFromEnv();
+  const uint32_t join_batch = JoinBatchFromEnv();
 
   auto keys = MakeKeyDistribution("gnutella");
   auto degrees = MakePaperDegreeDistribution("realistic");
@@ -63,8 +84,18 @@ int main() {
   config.checkpoints = scale.checkpoints;
   config.key_distribution = std::move(keys).value();
   config.degree_distribution = std::move(degrees).value();
-  config.overlay = OscarFactory()();
+  if (scale.huge) {
+    // Oracle segment sampling at the huge tier (see README "Scale
+    // tiers"): construction cost is the probe target, not sampling
+    // bandwidth, and walks would take hours at 10^6 peers.
+    OscarOptions options;
+    options.sampler = std::make_shared<OracleSegmentSampler>();
+    config.overlay = std::make_shared<OscarOverlay>(options);
+  } else {
+    config.overlay = OscarFactory()();
+  }
   config.rewire_threads = threads;
+  config.join_batch = join_batch;
 
   Simulation sim(std::move(config));
   const auto start = std::chrono::steady_clock::now();
@@ -83,10 +114,14 @@ int main() {
           ? result.rewire_wall_ms / static_cast<double>(result.rewire_count)
           : 0.0;
   std::printf(
-      "{\"size\": %zu, \"threads\": %u, \"checkpoints\": %zu, "
+      "{\"size\": %zu, \"threads\": %u, \"nproc\": %u, "
+      "\"join_batch\": %u, \"sampler\": \"%s\", "
+      "\"checkpoints\": %zu, "
       "\"rewire_ms_total\": %.1f, \"rewire_ms_per_checkpoint\": %.1f, "
       "\"growth_ms_total\": %.1f, \"peak_rss_kb\": %ld}\n",
-      sim.network().alive_count(), threads, result.rewire_count,
+      sim.network().alive_count(), threads,
+      std::thread::hardware_concurrency(), join_batch,
+      scale.huge ? "oracle" : "walk", result.rewire_count,
       result.rewire_wall_ms, per_checkpoint, total_ms, PeakRssKb());
   return 0;
 }
