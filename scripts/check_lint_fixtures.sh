@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Pins tools/lint_determinism.py's behavior against the fixture corpus
+# in tests/lint_fixtures/: every rule must fire exactly where the
+# fixtures say it does, and nowhere else.
+#
+# Expectations live IN the fixtures as comment markers:
+#   // lint-expect: <rule>[, <rule>]       findings on this line
+#   // lint-expect-next: <rule>[, <rule>]  findings on the next line
+#     (for lines that cannot carry a marker, e.g. a malformed
+#      oscar-lint suppression whose trailing text would become its
+#      reason)
+# Valid `// oscar-lint: allow(rule) reason` suppressions must land in
+# the report's "suppressed" list with their reasons intact — never in
+# "findings".
+#
+# Usage: check_lint_fixtures.sh [repo_root]
+set -euo pipefail
+
+repo_root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+lint="${repo_root}/tools/lint_determinism.py"
+fixtures="${repo_root}/tests/lint_fixtures"
+
+if [[ ! -f "${lint}" || ! -d "${fixtures}" ]]; then
+  echo "check_lint_fixtures: missing ${lint} or ${fixtures}" >&2
+  exit 2
+fi
+
+report="$(mktemp)"
+trap 'rm -f "${report}"' EXIT
+
+# The lint must exit 1 here: the trip_* fixtures exist to trigger it.
+lint_status=0
+python3 "${lint}" --json "${report}" "${fixtures}" >/dev/null ||
+  lint_status=$?
+if [[ "${lint_status}" -ne 1 ]]; then
+  echo "check_lint_fixtures: VIOLATED — lint exited ${lint_status} on" \
+       "the fixture corpus (want 1: fixtures must trigger findings)" >&2
+  exit 1
+fi
+
+python3 - "${report}" "${fixtures}" <<'PYEOF'
+import json
+import os
+import re
+import sys
+
+report_path, fixtures_dir = sys.argv[1], sys.argv[2]
+with open(report_path, encoding="utf-8") as f:
+    report = json.load(f)
+
+MARKER = re.compile(r"//\s*lint-expect(-next)?:\s*([\w\-, ]+)$")
+
+expected = set()  # (basename, line, rule)
+for name in sorted(os.listdir(fixtures_dir)):
+    if not name.endswith((".cc", ".h")):
+        continue
+    with open(os.path.join(fixtures_dir, name), encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            m = MARKER.search(line.rstrip())
+            if not m:
+                continue
+            target = line_no + 1 if m.group(1) else line_no
+            for rule in m.group(2).split(","):
+                expected.add((name, target, rule.strip()))
+
+actual = {(os.path.basename(e["file"]), e["line"], e["rule"])
+          for e in report["findings"]}
+
+problems = []
+for missing in sorted(expected - actual):
+    problems.append("expected finding never fired: %s:%d [%s]" % missing)
+for extra in sorted(actual - expected):
+    problems.append("unexpected finding: %s:%d [%s]" % extra)
+
+suppressed = [e for e in report["suppressed"]
+              if os.path.basename(e["file"]) == "suppressed_ok.cc"]
+if len(suppressed) != 2:
+    problems.append("want exactly 2 suppressed entries in "
+                    "suppressed_ok.cc, got %d" % len(suppressed))
+for entry in suppressed:
+    if not entry.get("reason", "").strip():
+        problems.append("suppressed entry without a reason: %s:%d" %
+                        (entry["file"], entry["line"]))
+
+if problems:
+    print("check_lint_fixtures: VIOLATED")
+    for problem in problems:
+        print("  " + problem)
+    sys.exit(1)
+
+print("check_lint_fixtures: OK — %d expected findings, %d suppressions "
+      "with reasons" % (len(expected), len(suppressed)))
+PYEOF

@@ -9,7 +9,7 @@
 # The rejections short-circuit before any growth, and the one accepted
 # full run is pinned to a tiny scale, so the whole probe stays cheap.
 
-set -u
+set -euo pipefail
 
 serve="${1:?usage: check_serve_cli.sh path/to/oscar_serve}"
 export OSCAR_BENCH_SIZE=48 OSCAR_BENCH_SEED=42
@@ -18,13 +18,13 @@ unset OSCAR_BENCH_SCALE 2>/dev/null || true
 fail=0
 
 # expect_reject <label> <args...>: exit must be 2, stderr must carry the
-# usage text.
+# usage text. (The || capture keeps the expected-nonzero probe from
+# tripping errexit.)
 expect_reject() {
   local label="$1"
   shift
-  local err
-  err=$("${serve}" "$@" 2>&1 >/dev/null)
-  local status=$?
+  local err status=0
+  err=$("${serve}" "$@" 2>&1 >/dev/null) || status=$?
   if [[ "${status}" -ne 2 ]]; then
     echo "FAIL ${label}: exit=${status}, want 2 (args: $*)" >&2
     fail=1

@@ -11,7 +11,7 @@
 # The script pins OSCAR_THREADS itself (ctest may run with either
 # ambient value; both runs happen here regardless).
 
-set -u
+set -euo pipefail
 
 serve="${1:?usage: check_serve_determinism.sh path/to/oscar_serve}"
 workdir="$(mktemp -d)"
@@ -35,7 +35,10 @@ for seed in 42 43 44 45; do
   if ! cmp -s "${workdir}/seed${seed}_t1.out" \
               "${workdir}/seed${seed}_t4.out"; then
     echo "FAIL seed=${seed}: summary differs between OSCAR_THREADS=1 and 4" >&2
-    diff "${workdir}/seed${seed}_t1.out" "${workdir}/seed${seed}_t4.out" | head -20 >&2
+    # diff exits 1 on difference by design; don't let errexit/pipefail
+    # turn the diagnostic itself into the failure.
+    diff "${workdir}/seed${seed}_t1.out" "${workdir}/seed${seed}_t4.out" |
+      head -20 >&2 || true
     fail=1
   fi
 done

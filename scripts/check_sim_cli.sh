@@ -8,7 +8,7 @@
 # their documented behavior. Keeps the binary cheap to probe by pinning
 # a tiny scale (the rejections short-circuit before any growth anyway).
 
-set -u
+set -euo pipefail
 
 sim="${1:?usage: check_sim_cli.sh path/to/oscar_sim}"
 export OSCAR_BENCH_SIZE=32 OSCAR_BENCH_QUERIES=8
@@ -16,13 +16,13 @@ export OSCAR_BENCH_SIZE=32 OSCAR_BENCH_QUERIES=8
 fail=0
 
 # expect_reject <label> <args...>: exit must be 2, stderr must carry a
-# usage line.
+# usage line. (The || capture keeps the expected-nonzero probe from
+# tripping errexit.)
 expect_reject() {
   local label="$1"
   shift
-  local err
-  err=$("${sim}" "$@" 2>&1 >/dev/null)
-  local status=$?
+  local err status=0
+  err=$("${sim}" "$@" 2>&1 >/dev/null) || status=$?
   if [[ "${status}" -ne 2 ]]; then
     echo "FAIL ${label}: exit=${status}, want 2 (args: $*)" >&2
     fail=1

@@ -15,7 +15,7 @@
 #
 # Everything runs at smoke scale; the script pins its own env.
 
-set -u
+set -euo pipefail
 
 sim="${1:?usage: check_trace_roundtrip.sh oscar_sim oscar_trace oscar_serve}"
 tracer="${2:?missing oscar_trace path}"
@@ -69,7 +69,9 @@ if ! "${tracer}" "${workdir}/s42_t1.otrace" --csv > "${workdir}/replay.csv" \
 fi
 if ! cmp -s "${workdir}/direct.csv" "${workdir}/replay.csv"; then
   echo "FAIL: oscar_trace --csv differs from the direct CSV sink" >&2
-  diff "${workdir}/direct.csv" "${workdir}/replay.csv" | head -10 >&2
+  # diff exits 1 on difference by design; keep the diagnostic from
+  # tripping errexit/pipefail.
+  diff "${workdir}/direct.csv" "${workdir}/replay.csv" | head -10 >&2 || true
   fail=1
 fi
 
@@ -132,8 +134,10 @@ if ! grep -q '^heatmap:' "${workdir}/summary.txt"; then
   fail=1
 fi
 head -c 64 "${workdir}/s42_t1.otrace" > "${workdir}/truncated.otrace"
-"${tracer}" "${workdir}/truncated.otrace" >/dev/null 2>&1
-if [[ $? -ne 2 ]]; then
+# Exit 2 is the EXPECTED outcome; capture it without tripping errexit.
+truncated_status=0
+"${tracer}" "${workdir}/truncated.otrace" >/dev/null 2>&1 || truncated_status=$?
+if [[ "${truncated_status}" -ne 2 ]]; then
   echo "FAIL: truncated .otrace not rejected with exit 2" >&2
   fail=1
 fi

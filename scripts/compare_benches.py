@@ -46,6 +46,28 @@ def load(path):
     return doc
 
 
+def build_stamp(doc):
+    """The artifact's build-flavor stamp: (sanitizer, build_type), or
+    None for pre-PR9 artifacts that never carried one."""
+    build = doc.get("build")
+    if not isinstance(build, dict):
+        return None
+    return (build.get("sanitizer", "none"), build.get("build_type", ""))
+
+
+def flavors_comparable(base, curr):
+    """Wall times are only like-for-like when both artifacts came from
+    the same build flavor. A missing stamp (older artifact) is treated
+    as comparable — the seed baselines predate the stamp — but any
+    explicit mismatch (sanitizer vs plain, Debug vs Release) is not:
+    instrumented builds are 2-20x slower BY DESIGN, so flagging their
+    deltas as regressions would poison the perf trajectory."""
+    base_stamp, curr_stamp = build_stamp(base), build_stamp(curr)
+    if base_stamp is None or curr_stamp is None:
+        return True
+    return base_stamp == curr_stamp
+
+
 def index_harnesses(doc):
     return {row["name"]: row for row in doc.get("harnesses", [])}
 
@@ -87,6 +109,13 @@ def main():
 
     base = load(args.baseline)
     curr = load(args.current)
+    comparable = flavors_comparable(base, curr)
+    if not comparable:
+        print(f"compare_benches: WARNING: build flavors differ — "
+              f"baseline {build_stamp(base)} vs current "
+              f"{build_stamp(curr)}. Wall-time deltas are reported "
+              f"below but NOT treated as regressions (non-fatal).",
+              file=sys.stderr)
     if base.get("scale") != curr.get("scale") or \
        base.get("seed") != curr.get("seed"):
         print(f"compare_benches: note: comparing scale/seed "
@@ -245,6 +274,14 @@ def main():
             delta = (d - bd) / bd if bd > 0 else 0.0
             print(f"{'  detached vs baseline':<34} {bd:>10.3f} "
                   f"{d:>10.3f} {delta:>+7.1%}")
+
+    if not comparable:
+        # Mismatched build flavors: every timing delta above is
+        # apples-to-oranges, so nothing is fatal — not even the serve
+        # gate (instrumentation throttles route throughput too).
+        print("\ncompare_benches: flavor mismatch — wall-time diff is "
+              "informational only (exit 0)")
+        return 0
 
     if args.serve_gate:
         if serve_regressions:

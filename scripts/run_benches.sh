@@ -236,6 +236,17 @@ if [[ -x "${build_dir}/oscar_sim" ]]; then
   rm -f "${trace_otrace}"
 fi
 
+# Build-flavor stamp for the artifact's top level (growth_probe
+# --flavor prints the compile-time CMake definitions as one JSON
+# object). compare_benches.py reads it and refuses to treat wall-time
+# deltas across mismatched flavors as regressions — a sanitizer tree is
+# 2-20x slower by design and must never pollute the perf trajectory.
+build_row="null"
+if [[ -x "${build_dir}/growth_probe" ]]; then
+  row=$("${build_dir}/growth_probe" --flavor 2>/dev/null)
+  [[ "${row}" == {* ]] && build_row="${row}"
+fi
+
 # Mirror the harnesses' EnvOrDefault semantics: a non-integer seed
 # falls back to the default instead of corrupting the JSON.
 seed="${OSCAR_BENCH_SEED:-42}"
@@ -248,6 +259,7 @@ scale="${OSCAR_BENCH_SCALE:-small}"
   echo "  \"schema\": \"oscar-bench-v1\","
   echo "  \"scale\": \"${scale}\","
   echo "  \"seed\": ${seed},"
+  echo "  \"build\": ${build_row},"
   echo "  \"nproc\": $(nproc 2>/dev/null || echo 0),"
   echo "  \"harnesses\": ["
   if [[ "${#json_rows[@]}" -gt 0 ]]; then

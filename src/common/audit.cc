@@ -1,0 +1,42 @@
+#include "common/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace oscar {
+namespace {
+
+bool ReadEnvKnob() {
+  const char* value = std::getenv("OSCAR_AUDIT");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "1") == 0 || std::strcmp(value, "true") == 0 ||
+         std::strcmp(value, "on") == 0;
+}
+
+// Cached decision. Mutable only through SetAuditEnabledForTest, which
+// tests call before spawning any worker threads.
+bool g_audit_enabled = ReadEnvKnob();
+
+}  // namespace
+
+bool AuditEnabled() { return g_audit_enabled; }
+
+bool SetAuditEnabledForTest(bool enabled) {
+  const bool previous = g_audit_enabled;
+  g_audit_enabled = enabled;
+  return previous;
+}
+
+[[noreturn]] void AuditFail(const char* file, int line, const char* cond,
+                            const std::string& detail) {
+  std::fprintf(stderr, "OSCAR_AUDIT violation at %s:%d\n  check: %s\n", file,
+               line, cond);
+  if (!detail.empty()) {
+    std::fprintf(stderr, "  detail: %s\n", detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace oscar

@@ -1,0 +1,60 @@
+// Runtime invariant auditing, behind the OSCAR_AUDIT env knob.
+//
+// The repo's determinism tests catch *divergence* (two runs disagree)
+// but not *corruption that both runs share* — a degree counter drifting
+// from its slab row, a reciprocity break, a delta restore healing into
+// something subtly unlike the full restore. OSCAR_AUDIT() turns the
+// structural contracts into machine-checked assertions that run inside
+// the real pipelines (growth checkpoints, snapshot freezes, delta
+// restores) at the operator's request:
+//
+//   OSCAR_AUDIT=1 ./build/oscar_sim baseline        # audited run
+//   OSCAR_AUDIT=1 ctest --test-dir build            # audited suite
+//
+// Audits default OFF — the hot paths pay one cached-bool branch per
+// audit point, nothing else. A failed audit prints the violated
+// condition with its context and aborts, so sanitizer CI jobs (which
+// run the smoke harnesses with OSCAR_AUDIT=1) fail loudly rather than
+// carrying corrupted state into a green run. The deep checks live on
+// the audited classes themselves as Status-returning methods
+// (Network::CheckInvariants, TopologySnapshot::Validate) so tests can
+// exercise detection without dying.
+
+#ifndef OSCAR_COMMON_AUDIT_H_
+#define OSCAR_COMMON_AUDIT_H_
+
+#include <string>
+
+namespace oscar {
+
+/// True when the environment opts into runtime invariant audits
+/// (OSCAR_AUDIT=1, also accepts "true"/"on"). Resolved once, cached —
+/// safe and cheap to call from any thread after first use.
+bool AuditEnabled();
+
+/// Test hook: overrides the cached env decision. Returns the previous
+/// value. Pass-through for audit_test, which must exercise both sides
+/// without mutating the process environment.
+bool SetAuditEnabledForTest(bool enabled);
+
+/// Reports a failed audit (condition text + call-site context) to
+/// stderr and aborts the process.
+[[noreturn]] void AuditFail(const char* file, int line, const char* cond,
+                            const std::string& detail);
+
+}  // namespace oscar
+
+/// Checks `cond` when audits are enabled; on violation prints the
+/// condition, `detail` (any expression convertible to std::string), and
+/// the call site, then aborts. Compiled in unconditionally — the
+/// disabled cost is one predictable branch on a cached bool, and audit
+/// points sit at checkpoint/freeze granularity, never inside per-hop
+/// loops.
+#define OSCAR_AUDIT(cond, detail)                                     \
+  do {                                                                \
+    if (::oscar::AuditEnabled() && !(cond)) {                         \
+      ::oscar::AuditFail(__FILE__, __LINE__, #cond, (detail));        \
+    }                                                                 \
+  } while (false)
+
+#endif  // OSCAR_COMMON_AUDIT_H_

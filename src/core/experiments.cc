@@ -6,6 +6,7 @@
 #include <string>
 
 #include "churn/churn.h"
+#include "common/audit.h"
 #include "common/string_util.h"
 #include "core/topology_snapshot.h"
 #include "overlay/chord/chord_overlay.h"
@@ -192,6 +193,14 @@ Result<std::vector<SearchCostRow>> RunSearchCostVsSize(
                                 &query_rng);
         } else {
           frozen->RestoreInto(&scratch);  // Crash it, keep growing.
+          // The journal-driven repair path runs here every churn level
+          // after the first — the highest-traffic delta-restore site,
+          // so it carries the restore-identity spot check.
+          if (AuditEnabled()) {
+            const Status audit = frozen->CheckRestoreIdentity(scratch);
+            OSCAR_AUDIT(audit.ok(),
+                        "fig2 delta restore: " + audit.message());
+          }
           Rng crash_rng(eval_seed);
           auto crash_result = CrashFraction(&scratch, churn, &crash_rng);
           if (!crash_result.ok()) return crash_result.status();

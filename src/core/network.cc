@@ -1,8 +1,16 @@
 #include "core/network.h"
 
 #include <algorithm>
+#include <string>
 
 namespace oscar {
+namespace {
+
+std::string PeerContext(const char* what, PeerId id) {
+  return std::string(what) + " at peer " + std::to_string(id);
+}
+
+}  // namespace
 
 PeerId Network::AppendPeer(KeyId key, DegreeCaps caps) {
   const PeerId id = static_cast<PeerId>(keys_.size());
@@ -169,6 +177,119 @@ size_t Network::ApplyLinkPlan(PeerId from,
     }
   }
   return added;
+}
+
+Status Network::CheckInvariants() const {
+  const size_t n = keys_.size();
+  // Parallel arrays grow in lockstep; bases are (N+1) cap prefix sums.
+  if (caps_.size() != n || alive_.size() != n || out_count_.size() != n ||
+      in_count_.size() != n || out_base_.size() != n + 1 ||
+      in_base_.size() != n + 1) {
+    return Status::Error("parallel peer arrays out of lockstep");
+  }
+  if (out_base_[0] != 0 || in_base_[0] != 0) {
+    return Status::Error("slab base prefix sums do not start at 0");
+  }
+  for (PeerId id = 0; id < n; ++id) {
+    if (out_base_[id + 1] - out_base_[id] != caps_[id].max_out) {
+      return Status::Error(PeerContext("out slab row != max_out cap", id));
+    }
+    if (in_base_[id + 1] - in_base_[id] != caps_[id].max_in) {
+      return Status::Error(PeerContext("in slab row != max_in cap", id));
+    }
+  }
+  if (out_slab_.size() < out_base_[n] || in_slab_.size() < in_base_[n]) {
+    return Status::Error("slab storage smaller than its base extent");
+  }
+  size_t alive_total = 0;
+  for (PeerId id = 0; id < n; ++id) {
+    if (alive_[id] != 0 && alive_[id] != 1) {
+      return Status::Error(PeerContext("alive flag not 0/1", id));
+    }
+    alive_total += alive_[id];
+    // Degree counters never exceed the declared caps (AddLongLink's
+    // cap gate is the only writer that may advance them).
+    if (out_count_[id] > caps_[id].max_out) {
+      return Status::Error(PeerContext("out degree exceeds cap", id));
+    }
+    if (in_count_[id] > caps_[id].max_in) {
+      return Status::Error(PeerContext("in degree exceeds cap", id));
+    }
+    // Crash() clears both sides; dead peers hold no link state.
+    if (!alive_[id] && (out_count_[id] != 0 || in_count_[id] != 0)) {
+      return Status::Error(PeerContext("dead peer holds link state", id));
+    }
+    const PeerSpan out = OutLinks(id);
+    for (size_t i = 0; i < out.size(); ++i) {
+      const PeerId target = out[i];
+      if (target >= n) {
+        return Status::Error(PeerContext("out-link beyond peer table", id));
+      }
+      if (target == id) {
+        return Status::Error(PeerContext("self link", id));
+      }
+      for (size_t j = i + 1; j < out.size(); ++j) {
+        if (out[j] == target) {
+          return Status::Error(PeerContext("duplicate out-link", id));
+        }
+      }
+      // Reciprocity, out -> in: a live link must be registered exactly
+      // once in the target's in row. (Dangling links to dead targets
+      // are legal — routers discover them as dead probes.)
+      if (alive_[target]) {
+        const PeerSpan in = InLinks(target);
+        const size_t hits =
+            static_cast<size_t>(std::count(in.begin(), in.end(), id));
+        if (hits != 1) {
+          return Status::Error(
+              PeerContext("out-link not mirrored exactly once in target", id));
+        }
+      }
+    }
+    // Reciprocity, in -> out: every in-link entry names an alive holder
+    // whose out row contains this peer.
+    const PeerSpan in = InLinks(id);
+    for (PeerId holder : in) {
+      if (holder >= n) {
+        return Status::Error(PeerContext("in-link beyond peer table", id));
+      }
+      if (!alive_[holder]) {
+        return Status::Error(PeerContext("in-link from dead holder", id));
+      }
+      const PeerSpan holder_out = OutLinks(holder);
+      if (std::find(holder_out.begin(), holder_out.end(), id) ==
+          holder_out.end()) {
+        return Status::Error(
+            PeerContext("in-link without matching out-link", id));
+      }
+    }
+  }
+  // Ring <-> peer table agreement: sorted (key, id) order, exactly the
+  // alive peers, each with its table key.
+  if (ring_.size() != alive_total) {
+    return Status::Error("ring size != alive peer count");
+  }
+  std::vector<uint8_t> on_ring(n, 0);
+  for (size_t pos = 0; pos < ring_.size(); ++pos) {
+    const Ring::Entry& entry = ring_.at(pos);
+    if (entry.id >= n) {
+      return Status::Error("ring entry beyond peer table");
+    }
+    if (!alive_[entry.id]) {
+      return Status::Error(PeerContext("dead peer on ring", entry.id));
+    }
+    if (entry.key_raw != keys_[entry.id].raw) {
+      return Status::Error(PeerContext("ring key != table key", entry.id));
+    }
+    if (on_ring[entry.id]) {
+      return Status::Error(PeerContext("peer on ring twice", entry.id));
+    }
+    on_ring[entry.id] = 1;
+    if (pos > 0 && !(ring_.at(pos - 1) < entry)) {
+      return Status::Error("ring entries out of (key, id) order");
+    }
+  }
+  return Status::Ok();
 }
 
 size_t Network::PruneDeadLinks(PeerId id) {

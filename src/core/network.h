@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "core/key_id.h"
 #include "core/ring.h"
 
@@ -162,7 +163,23 @@ class Network {
     return caps_[id].max_out > used ? caps_[id].max_out - used : 0;
   }
 
+  /// Full structural self-check, the deep half of the OSCAR_AUDIT
+  /// layer (common/audit.h). Verifies every invariant the SoA layout
+  /// and the link protocol promise: parallel arrays in lockstep, slab
+  /// bases equal to cap prefix sums, degree counters within caps and
+  /// matching their slab rows, no self/duplicate out-links, dead peers
+  /// holding no link state, in/out reciprocity between alive peers
+  /// (every in-link entry backed by exactly one live out-link and vice
+  /// versa), and ring <-> peer-table agreement (sorted, exactly the
+  /// alive peers, matching keys). Returns the first violation found;
+  /// O(N + E * max_in) — checkpoint-granularity cost, not per-hop.
+  Status CheckInvariants() const;
+
  private:
+  // audit_test corrupts private state to prove CheckInvariants actually
+  // detects each violation class (there is no public path to an invalid
+  // network — that is the point of the invariants).
+  friend struct NetworkTestAccess;
   // TopologySnapshot::Restore() rebuilds the peer table and ring index
   // directly from its flat arrays (Join/AddLongLink cannot recreate
   // dead peers or dangling links), and RestoreInto() drives the

@@ -26,6 +26,9 @@ class Ring {
     friend bool operator<(const Entry& a, const Entry& b) {
       return a.key_raw != b.key_raw ? a.key_raw < b.key_raw : a.id < b.id;
     }
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.key_raw == b.key_raw && a.id == b.id;
+    }
   };
 
   void Insert(KeyId key, PeerId id);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 
+#include "common/audit.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -217,6 +218,12 @@ Result<GrowthResult> Simulation::Run() {
     epoch_salt = rng.Next();
     ++epoch_index;
     epoch = std::make_unique<TopologySnapshot>(network_);
+    // Every joiner in the epoch plans over this frozen view; a
+    // malformed freeze would fan corruption into the whole wave.
+    if (AuditEnabled()) {
+      const Status audit = epoch->Validate();
+      OSCAR_AUDIT(audit.ok(), "epoch snapshot: " + audit.message());
+    }
     const size_t base = network_.alive_count();
     epoch_refresh_at = base + std::max<size_t>(size_t{1}, base / 8);
   };
@@ -283,6 +290,13 @@ Result<GrowthResult> Simulation::Run() {
                 std::chrono::steady_clock::now() - rewire_start)
                 .count();
         ++result.rewire_count;
+        // A global rewire touches every peer's link state — the widest
+        // mutation in the system, and the one the structural audit is
+        // cheapest relative to.
+        if (AuditEnabled()) {
+          const Status audit = network_.CheckInvariants();
+          OSCAR_AUDIT(audit.ok(), "post-rewire network: " + audit.message());
+        }
       }
       CheckpointResult checkpoint;
       checkpoint.network_size = network_.alive_count();
@@ -304,6 +318,10 @@ Result<GrowthResult> Simulation::Run() {
     if (batch_joins && network_.alive_count() >= epoch_refresh_at) {
       refresh_epoch();
     }
+  }
+  if (AuditEnabled()) {
+    const Status audit = network_.CheckInvariants();
+    OSCAR_AUDIT(audit.ok(), "grown network: " + audit.message());
   }
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 namespace oscar {
 namespace {
@@ -79,6 +80,153 @@ std::optional<PeerId> TopologySnapshot::RingNeighbor(PeerId id,
   const size_t n = ring_.size();
   const size_t next = clockwise ? (pos + 1) % n : (pos + n - 1) % n;
   return ring_.at(next).id;
+}
+
+Status TopologySnapshot::Validate() const {
+  const size_t n = keys_.size();
+  if (caps_.size() != n || alive_.size() != n || ring_pos_.size() != n) {
+    return Status::Error("snapshot parallel arrays out of lockstep");
+  }
+  // Exactly one offset width is populated, matching `wide_`.
+  if (wide_) {
+    if (out_offsets64_.size() != n + 1 || in_offsets64_.size() != n + 1 ||
+        !out_offsets32_.empty() || !in_offsets32_.empty()) {
+      return Status::Error("wide snapshot carries 32-bit offsets");
+    }
+  } else {
+    if (out_offsets32_.size() != n + 1 || in_offsets32_.size() != n + 1 ||
+        !out_offsets64_.empty() || !in_offsets64_.empty()) {
+      return Status::Error("narrow snapshot carries 64-bit offsets");
+    }
+  }
+  const CsrOffsets out_off = out_offsets();
+  const CsrOffsets in_off = in_offsets();
+  if (out_off[0] != 0 || in_off[0] != 0) {
+    return Status::Error("CSR offsets do not start at 0");
+  }
+  if (out_off[n] != out_edges_.size() || in_off[n] != in_edges_.size()) {
+    return Status::Error("CSR offsets not closed by the edge totals");
+  }
+  size_t alive_total = 0;
+  for (PeerId id = 0; id < n; ++id) {
+    if (alive_[id] != 0 && alive_[id] != 1) {
+      return Status::Error("alive flag not 0/1 at peer " + std::to_string(id));
+    }
+    alive_total += alive_[id];
+    if (out_off[id + 1] < out_off[id] || in_off[id + 1] < in_off[id]) {
+      return Status::Error("CSR offsets not monotone at peer " +
+                           std::to_string(id));
+    }
+    const uint64_t out_len = out_off[id + 1] - out_off[id];
+    const uint64_t in_len = in_off[id + 1] - in_off[id];
+    if (out_len > caps_[id].max_out || in_len > caps_[id].max_in) {
+      return Status::Error("CSR row exceeds declared cap at peer " +
+                           std::to_string(id));
+    }
+    if (!alive_[id] && (out_len != 0 || in_len != 0)) {
+      return Status::Error("dead peer holds CSR rows at peer " +
+                           std::to_string(id));
+    }
+    const PeerSpan out = OutLinks(id);
+    for (PeerId target : out) {
+      if (target >= n) {
+        return Status::Error("out-edge beyond peer table at peer " +
+                             std::to_string(id));
+      }
+      if (target == id) {
+        return Status::Error("self edge at peer " + std::to_string(id));
+      }
+      // Dangling edges to dead targets are legal (frozen mid-churn);
+      // live ones must be mirrored in the target's in row.
+      if (alive_[target]) {
+        const PeerSpan in = InLinks(target);
+        if (std::count(in.begin(), in.end(), id) != 1) {
+          return Status::Error("out-edge not mirrored exactly once, peer " +
+                               std::to_string(id));
+        }
+      }
+    }
+    const PeerSpan in = InLinks(id);
+    for (PeerId holder : in) {
+      if (holder >= n || !alive_[holder]) {
+        return Status::Error("in-edge from dead holder at peer " +
+                             std::to_string(id));
+      }
+      const PeerSpan holder_out = OutLinks(holder);
+      if (std::find(holder_out.begin(), holder_out.end(), id) ==
+          holder_out.end()) {
+        return Status::Error("in-edge without matching out-edge at peer " +
+                             std::to_string(id));
+      }
+    }
+  }
+  // Ring and ring_pos_ agree with the peer table: exactly the alive
+  // peers, sorted, each position index pointing back at its entry.
+  if (ring_.size() != alive_total) {
+    return Status::Error("ring size != alive peer count");
+  }
+  for (size_t pos = 0; pos < ring_.size(); ++pos) {
+    const Ring::Entry& entry = ring_.at(pos);
+    if (entry.id >= n || !alive_[entry.id] ||
+        entry.key_raw != keys_[entry.id].raw) {
+      return Status::Error("ring entry disagrees with peer table");
+    }
+    if (ring_pos_[entry.id] != pos) {
+      return Status::Error("ring_pos does not point back at ring entry");
+    }
+    if (pos > 0 && !(ring_.at(pos - 1) < entry)) {
+      return Status::Error("ring entries out of (key, id) order");
+    }
+  }
+  for (PeerId id = 0; id < n; ++id) {
+    if (!alive_[id] && ring_pos_[id] != kNotOnRing) {
+      return Status::Error("dead peer carries a ring position");
+    }
+  }
+  return Status::Ok();
+}
+
+Status TopologySnapshot::CheckRestoreIdentity(const Network& net) const {
+  const Network full = Restore();
+  const size_t n = full.keys_.size();
+  if (net.keys_.size() != n) {
+    return Status::Error("restored network has wrong peer count");
+  }
+  for (PeerId id = 0; id < n; ++id) {
+    if (net.keys_[id].raw != full.keys_[id].raw) {
+      return Status::Error("restored key diverges at peer " +
+                           std::to_string(id));
+    }
+    if (net.caps_[id].max_in != full.caps_[id].max_in ||
+        net.caps_[id].max_out != full.caps_[id].max_out) {
+      return Status::Error("restored caps diverge at peer " +
+                           std::to_string(id));
+    }
+    if (net.alive_[id] != full.alive_[id]) {
+      return Status::Error("restored liveness diverges at peer " +
+                           std::to_string(id));
+    }
+    // Link order is part of the contract (walk order is physics), so
+    // rows must match element-wise, not as sets.
+    const PeerSpan a_out = net.OutLinks(id);
+    const PeerSpan b_out = full.OutLinks(id);
+    if (a_out.size() != b_out.size() ||
+        !std::equal(a_out.begin(), a_out.end(), b_out.begin())) {
+      return Status::Error("restored out row diverges at peer " +
+                           std::to_string(id));
+    }
+    const PeerSpan a_in = net.InLinks(id);
+    const PeerSpan b_in = full.InLinks(id);
+    if (a_in.size() != b_in.size() ||
+        !std::equal(a_in.begin(), a_in.end(), b_in.begin())) {
+      return Status::Error("restored in row diverges at peer " +
+                           std::to_string(id));
+    }
+  }
+  if (net.ring_.entries() != full.ring_.entries()) {
+    return Status::Error("restored ring diverges from full restore");
+  }
+  return Status::Ok();
 }
 
 Network TopologySnapshot::Restore() const {

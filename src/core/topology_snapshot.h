@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "core/key_id.h"
 #include "core/network.h"
 #include "core/ring.h"
@@ -127,7 +128,26 @@ class TopologySnapshot {
   /// Returns the previous value; pass UINT32_MAX to restore the default.
   static uint64_t SetWideOffsetThresholdForTest(uint64_t threshold);
 
+  /// Deep structural self-check, the snapshot half of the OSCAR_AUDIT
+  /// layer (common/audit.h): CSR offsets monotone and closed by the
+  /// edge totals, exactly one offset width populated per `wide_`, row
+  /// lengths within the declared caps, in-edges only from alive
+  /// holders, out->in reciprocity between alive endpoints, and
+  /// ring/ring_pos_ agreement with the peer table. Returns the first
+  /// violation found.
+  Status Validate() const;
+
+  /// Delta-restore identity audit: verifies `net` (typically produced
+  /// by RestoreInto's journal-driven repair path) is structurally
+  /// identical to a fresh full Restore() of this snapshot — the
+  /// equivalence the mutation journal promises. O(N + E): audit-only,
+  /// called behind OSCAR_AUDIT at restore granularity.
+  Status CheckRestoreIdentity(const Network& net) const;
+
  private:
+  // audit_test corrupts private state to prove Validate() detects each
+  // violation class (no public path builds an invalid snapshot).
+  friend struct TopologySnapshotTestAccess;
   std::optional<PeerId> RingNeighbor(PeerId id, bool clockwise) const;
 
   std::vector<KeyId> keys_;

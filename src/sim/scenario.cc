@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/audit.h"
 #include "common/string_util.h"
 #include "core/experiments.h"
 #include "core/simulation.h"
@@ -69,6 +70,11 @@ Result<GrownTopology> GrowScenarioTopology(const ScenarioOptions& base) {
 
   GrownTopology topology;
   topology.snapshot = TopologySnapshot(growth.network());
+  // This one freeze backs every scenario replay of the topology.
+  if (AuditEnabled()) {
+    const Status audit = topology.snapshot.Validate();
+    OSCAR_AUDIT(audit.ok(), "scenario freeze: " + audit.message());
+  }
   topology.overlay = growth.config().overlay;
   topology.keys = growth.config().key_distribution;
   topology.degrees = growth.config().degree_distribution;
@@ -168,6 +174,12 @@ Result<ScenarioResult> RunScenarioOn(const std::string& name,
   // On a recycled scratch this is a delta repair of the peers the
   // previous scenario touched, not an O(N) rebuild.
   grown.snapshot.RestoreInto(scratch);
+  // Scenario replays recycle the scratch across runs — exactly the
+  // journal path the restore-identity audit exists for.
+  if (AuditEnabled()) {
+    const Status audit = grown.snapshot.CheckRestoreIdentity(*scratch);
+    OSCAR_AUDIT(audit.ok(), "scenario delta restore: " + audit.message());
+  }
   Network& net = *scratch;
   const OverlayPtr overlay = grown.overlay;
   const KeyDistributionPtr peer_keys = grown.keys;

@@ -1,0 +1,35 @@
+// Lint fixture for the suppression contract: `// oscar-lint:
+// allow(<rule>) <reason>` silences a finding on the same line, and a
+// comment-only suppression line covers the next line. Both forms must
+// land in the report's "suppressed" list (with reasons), never in
+// "findings". A bare allow() without a reason is itself a finding.
+// Never compiled; behavior pinned by scripts/check_lint_fixtures.sh.
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct DebugDump {
+  std::unordered_map<int, std::string> labels_;
+
+  size_t SameLineSuppressed() const {
+    size_t n = 0;
+    for (const auto& e : labels_) n += e.second.size();  // oscar-lint: allow(unordered-iteration) order-insensitive size sum for a debug counter
+    return n;
+  }
+
+  bool PrecedingLineSuppressed() const {
+    // oscar-lint: allow(unordered-iteration) membership probe via iterator in cold debug path
+    return labels_.cbegin() == labels_.cbegin();
+  }
+
+  size_t MissingReasonIsItselfAFinding() const {
+    size_t n = 0;
+    // lint-expect-next: bad-suppression, unordered-iteration
+    for (const auto& e : labels_) n += e.second.size();  // oscar-lint: allow(unordered-iteration)
+    return n;
+  }
+};
+
+}  // namespace fixture

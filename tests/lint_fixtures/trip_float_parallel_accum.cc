@@ -1,0 +1,47 @@
+// Lint fixture for the float-parallel-accum rule: compound
+// accumulation into a float/double declared OUTSIDE a
+// ParallelFor/ParallelForWorkers body from INSIDE it. FP addition does
+// not commute, so cross-thread accumulation order becomes the result.
+// Never compiled; behavior pinned by scripts/check_lint_fixtures.sh.
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, unsigned threads, Fn fn);
+template <typename Fn>
+void ParallelForWorkers(size_t n, unsigned threads, Fn fn);
+
+inline double SharedAccumulatorBad(const std::vector<double>& values) {
+  double total = 0.0;
+  ParallelFor(0, values.size(), 4, [&](size_t i) {
+    total += values[i];  // lint-expect: float-parallel-accum
+  });
+  return total;
+}
+
+inline double WorkerVariantBad(const std::vector<double>& values) {
+  double scale = 1.0;
+  ParallelForWorkers(values.size(), 4, [&](size_t i) {
+    scale *= values[i];  // lint-expect: float-parallel-accum
+  });
+  return scale;
+}
+
+// The sanctioned shape: per-index slots written disjointly, merged
+// deterministically after the barrier — no findings inside the body.
+inline double PerSlotReductionGood(const std::vector<double>& values) {
+  std::vector<double> slots(values.size(), 0.0);
+  ParallelFor(0, values.size(), 4, [&](size_t i) {
+    double local = values[i];
+    local += 1.0;  // Lambda-local: per-index, deterministic.
+    slots[i] = local;
+  });
+  double total = 0.0;
+  for (double slot : slots) total += slot;  // Outside the body: fine.
+  return total;
+}
+
+}  // namespace fixture

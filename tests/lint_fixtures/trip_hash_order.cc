@@ -1,0 +1,35 @@
+// Lint fixture for the hash-order rule: any std::hash use ties derived
+// ordering (bucket placement, hash-combined sort keys) to the standard
+// library implementation, which the byte-identical contract forbids.
+// Never compiled; behavior pinned by scripts/check_lint_fixtures.sh.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace fixture {
+
+struct Record {
+  std::string name;
+};
+
+inline size_t HashBad(const Record& record) {
+  return std::hash<std::string>{}(record.name);  // lint-expect: hash-order
+}
+
+struct RecordHasher {
+  std::hash<std::string> hasher;  // lint-expect: hash-order
+  size_t operator()(const Record& record) const {
+    return hasher(record.name);
+  }
+};
+
+// A hand-rolled mixer with pinned constants is the sanctioned
+// replacement — no finding.
+inline size_t HashGood(const Record& record) {
+  size_t h = 1469598103934665603ull;
+  for (char c : record.name) h = (h ^ static_cast<size_t>(c)) * 1099511628211ull;
+  return h;
+}
+
+}  // namespace fixture

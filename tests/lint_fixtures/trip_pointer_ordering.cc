@@ -1,0 +1,30 @@
+// Lint fixture for the pointer-ordering rule: ordered associative
+// containers keyed by pointer value, and pointer->integer casts, both
+// tie results to allocation addresses that vary run to run.
+// Never compiled; behavior pinned by scripts/check_lint_fixtures.sh.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Peer {
+  int id;
+};
+
+struct Router {
+  std::set<Peer*> frontier_;  // lint-expect: pointer-ordering
+  std::map<Peer*, int> hops_;  // lint-expect: pointer-ordering
+
+  uint64_t AddressAsKey(const Peer* peer) const {
+    return reinterpret_cast<uintptr_t>(peer);  // lint-expect: pointer-ordering
+  }
+
+  // Value-keyed ordered containers are fine — no findings below.
+  std::set<int> ids_;
+  std::map<int, int> id_hops_;
+};
+
+}  // namespace fixture

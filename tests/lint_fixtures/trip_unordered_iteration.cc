@@ -1,0 +1,38 @@
+// Lint fixture: every construct the unordered-iteration rule must
+// flag, plus the membership-only uses it must stay silent on. Each
+// line that must appear in the report carries a `lint-expect:` marker
+// (scripts/check_lint_fixtures.sh builds the expected finding set from
+// those markers and diffs it against the JSON report).
+//
+// This file is NEVER compiled — it exists to pin the lint's behavior.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<int, std::string> by_id_;
+  std::unordered_set<int> members_;
+
+  int SumKeysBad() const {
+    int sum = 0;
+    for (const auto& entry : by_id_) {  // lint-expect: unordered-iteration
+      sum += entry.first;
+    }
+    return sum;
+  }
+
+  bool ExplicitIteratorBad() const {
+    return members_.begin() != members_.end();  // lint-expect: unordered-iteration
+  }
+
+  // Membership-only calls are the sanctioned use — no findings here.
+  bool Contains(int id) const { return members_.count(id) != 0; }
+  void Add(int id) { members_.insert(id); }
+  void Remove(int id) { members_.erase(id); }
+  bool Lookup(int id) const { return by_id_.find(id) != by_id_.end(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Lint fixture for the wall-clock rule: ambient randomness and wall
+// time in library code. oscar::Rng and virtual time are the only
+// sanctioned sources; steady_clock is allowed because it only feeds
+// stderr/JSON timing, never results.
+// Never compiled; behavior pinned by scripts/check_lint_fixtures.sh.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline unsigned AmbientSeedBad() {
+  std::random_device device;  // lint-expect: wall-clock
+  return device();
+}
+
+inline int LegacyRandBad() {
+  srand(42);  // lint-expect: wall-clock
+  return rand();  // lint-expect: wall-clock
+}
+
+inline long WallTimeBad() {
+  return time(nullptr);  // lint-expect: wall-clock
+}
+
+inline long long EpochNowBad() {
+  return std::chrono::system_clock::now()  // lint-expect: wall-clock
+      .time_since_epoch()
+      .count();
+}
+
+inline long CpuClockBad() {
+  return clock();  // lint-expect: wall-clock
+}
+
+// steady_clock for timing-to-JSON is the sanctioned pattern — silent.
+inline double ElapsedMsGood() {
+  const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Identifiers that merely contain the tokens stay silent too.
+inline int randomize_count(int my_time) { return my_time; }
+
+}  // namespace fixture

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 
@@ -30,11 +31,26 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/audit.h"
 #include "common/thread_pool.h"
 #include "core/experiments.h"
 #include "core/simulation.h"
 #include "overlay/oscar/oscar_overlay.h"
 #include "sampling/oracle_sampler.h"
+
+// Build-flavor stamp (CMake compile definitions): every BENCH row
+// carries which build produced it, so compare_benches.py can refuse to
+// diff wall times across mismatched flavors — a sanitizer run must
+// never pollute the perf trajectory.
+#ifndef OSCAR_SANITIZE_FLAVOR
+#define OSCAR_SANITIZE_FLAVOR "none"
+#endif
+#ifndef OSCAR_BUILD_TYPE
+#define OSCAR_BUILD_TYPE "unknown"
+#endif
+#ifndef OSCAR_COMPILER_ID
+#define OSCAR_COMPILER_ID "unknown"
+#endif
 
 namespace {
 
@@ -65,8 +81,22 @@ uint32_t JoinBatchFromEnv() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace oscar;
+  // `growth_probe --flavor` prints only the build-flavor stamp — the
+  // hook scripts/run_benches.sh uses to stamp the artifact's top level
+  // without growing a network first.
+  if (argc > 1 && std::strcmp(argv[1], "--flavor") == 0) {
+    std::printf(
+        "{\"sanitizer\": \"%s\", \"build_type\": \"%s\", "
+        "\"compiler\": \"%s\"}\n",
+        OSCAR_SANITIZE_FLAVOR, OSCAR_BUILD_TYPE, OSCAR_COMPILER_ID);
+    return 0;
+  }
+  if (AuditEnabled()) {
+    std::fprintf(stderr,
+                 "growth_probe: OSCAR_AUDIT=1 — runtime invariant audits on\n");
+  }
   const ExperimentScale scale = ScaleFromEnv();
   const uint32_t threads = ThreadCountFromEnv();
   const uint32_t join_batch = JoinBatchFromEnv();
@@ -116,12 +146,14 @@ int main() {
   std::printf(
       "{\"size\": %zu, \"threads\": %u, \"nproc\": %u, "
       "\"join_batch\": %u, \"sampler\": \"%s\", "
+      "\"sanitizer\": \"%s\", \"build_type\": \"%s\", \"compiler\": \"%s\", "
       "\"checkpoints\": %zu, "
       "\"rewire_ms_total\": %.1f, \"rewire_ms_per_checkpoint\": %.1f, "
       "\"growth_ms_total\": %.1f, \"peak_rss_kb\": %ld}\n",
       sim.network().alive_count(), threads,
       std::thread::hardware_concurrency(), join_batch,
-      scale.huge ? "oracle" : "walk", result.rewire_count,
+      scale.huge ? "oracle" : "walk", OSCAR_SANITIZE_FLAVOR, OSCAR_BUILD_TYPE,
+      OSCAR_COMPILER_ID, result.rewire_count,
       result.rewire_wall_ms, per_checkpoint, total_ms, PeakRssKb());
   return 0;
 }

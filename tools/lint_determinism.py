@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Determinism lint: a static pass over the C++ sources for hazard
+classes that would break the repo's byte-identical-output contract.
+
+The library promises bit-equal results across OSCAR_THREADS, join-batch
+sizes, and repeated runs. The test suite catches *divergence that
+already happens*; this lint catches the constructs that *let* it happen
+before they reach a hot path:
+
+  unordered-iteration   iterating an std::unordered_map/set (bucket
+                        order is implementation- and size-dependent)
+  pointer-ordering      pointer-keyed ordered containers, or pointers
+                        cast to integers (allocation addresses vary run
+                        to run)
+  hash-order            std::hash<...> (implementation-defined; ties
+                        any derived ordering to the standard library)
+  wall-clock            rand()/srand, std::random_device, time(),
+                        system_clock, clock() in library code (Rng and
+                        virtual time are the only sanctioned sources;
+                        steady_clock is allowed — it only feeds
+                        stderr/JSON timing, never results)
+  float-parallel-accum  compound accumulation (+=, -=, *=, /=) into a
+                        float/double declared OUTSIDE a ParallelFor /
+                        ParallelForWorkers body from INSIDE it —
+                        FP addition does not commute, so cross-thread
+                        accumulation order becomes the result
+
+Suppressions are inline and must carry a reason:
+
+    code;  // oscar-lint: allow(rule) reason text
+
+A suppression comment on its own line covers the next line. Bare
+allow() without a reason, or naming an unknown rule, is itself a
+finding (bad-suppression) — the gate stays at zero either way.
+
+Usage:
+    tools/lint_determinism.py [--json report.json] [paths...]
+        (default paths: src/ tools/ relative to the repo root)
+    tools/lint_determinism.py --list-rules
+
+Exit code 0 iff no unsuppressed findings; the ctest/CI gate is exactly
+this exit code.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = {
+    "unordered-iteration":
+        "iteration over std::unordered_map/std::unordered_set",
+    "pointer-ordering":
+        "pointer-keyed ordered container or pointer->integer cast",
+    "hash-order": "std::hash usage (implementation-defined order)",
+    "wall-clock": "wall-clock or ambient randomness in library code",
+    "float-parallel-accum":
+        "float/double accumulation into captured state inside a "
+        "ParallelFor body",
+    "bad-suppression": "malformed oscar-lint suppression",
+}
+
+SUPPRESS_RE = re.compile(
+    r"//\s*oscar-lint:\s*allow\(([^)]*)\)\s*(.*)$")
+
+# Declarations of unordered containers: capture the variable name.
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;={(]")
+# Ordered associative containers with a pointer-typed first key.
+POINTER_KEY_RE = re.compile(
+    r"std::(?:map|set|multimap|multiset)\s*<\s*[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+POINTER_CAST_RE = re.compile(
+    r"reinterpret_cast\s*<\s*u?intptr_t\s*>")
+HASH_RE = re.compile(r"std::hash\s*<")
+WALL_CLOCK_RES = [
+    re.compile(r"\bstd::random_device\b"),
+    re.compile(r"(?<![\w:])s?rand\s*\(\s*\)"),
+    re.compile(r"(?<![\w:])srand\s*\("),
+    re.compile(r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+    re.compile(r"\bsystem_clock\b"),
+    re.compile(r"(?<![\w.:>])clock\s*\(\s*\)"),
+]
+FLOAT_DECL_RE = re.compile(
+    r"\b(?:double|float)\s+(\w+)\s*(?:=|;|,|\)|\{)")
+PARALLEL_CALL_RE = re.compile(r"\bParallelFor(?:Workers)?\s*\(")
+
+
+def strip_strings_and_comments(line, in_block_comment):
+    """Blanks out string/char literals and comments, preserving column
+    positions. Returns (code_text, still_in_block_comment)."""
+    out = []
+    i = 0
+    n = len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        if state == "code":
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                out.append(" " * (n - i))
+                i = n
+            elif c == "/" and i + 1 < n and line[i + 1] == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "block":
+            if c == "*" and i + 1 < n and line[i + 1] == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out), state == "block"
+
+
+class FileLint:
+    def __init__(self, path, rel, is_library):
+        self.path = path
+        self.rel = rel
+        self.is_library = is_library
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw_lines = f.read().splitlines()
+        # Code with comments/strings blanked, per line (1-indexed at [i-1]).
+        self.code_lines = []
+        in_block = False
+        for line in self.raw_lines:
+            code, in_block = strip_strings_and_comments(line, in_block)
+            self.code_lines.append(code)
+        self.findings = []
+        self.suppressed = []
+        self.suppressions = self._collect_suppressions()
+
+    def _collect_suppressions(self):
+        """Map line number -> (set(rules), reason). A suppression on a
+        comment-only line covers the NEXT line instead."""
+        by_line = {}
+        for i, raw in enumerate(self.raw_lines, start=1):
+            m = SUPPRESS_RE.search(raw)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            reason = m.group(2).strip()
+            target = i
+            if raw.strip().startswith("//"):
+                target = i + 1  # Comment-only line: covers the next line.
+            unknown = sorted(r for r in rules if r not in RULES)
+            if not rules or not reason or unknown:
+                detail = ("no rule named" if not rules else
+                          "unknown rule(s): " + ", ".join(unknown)
+                          if unknown else "missing reason string")
+                self.findings.append({
+                    "file": self.rel, "line": i, "rule": "bad-suppression",
+                    "snippet": raw.strip()[:120],
+                    "detail": detail,
+                })
+                continue
+            by_line[target] = (rules, reason)
+        return by_line
+
+    def report(self, line_no, rule, snippet):
+        entry = {
+            "file": self.rel, "line": line_no, "rule": rule,
+            "snippet": snippet.strip()[:120],
+        }
+        suppression = self.suppressions.get(line_no)
+        if suppression and rule in suppression[0]:
+            entry["reason"] = suppression[1]
+            self.suppressed.append(entry)
+        else:
+            self.findings.append(entry)
+
+    def lint(self):
+        self._lint_unordered_iteration()
+        self._lint_simple_patterns()
+        self._lint_float_parallel_accum()
+
+    def _lint_unordered_iteration(self):
+        unordered_vars = set()
+        for code in self.code_lines:
+            for m in UNORDERED_DECL_RE.finditer(code):
+                unordered_vars.add(m.group(1))
+        if not unordered_vars:
+            return
+        names = "|".join(re.escape(v) for v in sorted(unordered_vars))
+        # Range-for over the container, or explicit begin() iteration.
+        # Membership calls (find/count/insert/erase) are the sanctioned
+        # uses and stay silent — which is why only begin/cbegin is
+        # matched, never end(): `m.find(k) != m.end()` is the canonical
+        # membership idiom and iteration cannot start without a begin.
+        range_for = re.compile(r"for\s*\([^;)]*:\s*(?:%s)\s*\)" % names)
+        begin_iter = re.compile(r"\b(?:%s)\s*\.\s*c?begin\s*\(" % names)
+        for i, code in enumerate(self.code_lines, start=1):
+            if range_for.search(code) or begin_iter.search(code):
+                self.report(i, "unordered-iteration", self.raw_lines[i - 1])
+
+    def _lint_simple_patterns(self):
+        for i, code in enumerate(self.code_lines, start=1):
+            raw = self.raw_lines[i - 1]
+            if POINTER_KEY_RE.search(code) or POINTER_CAST_RE.search(code):
+                self.report(i, "pointer-ordering", raw)
+            if HASH_RE.search(code):
+                self.report(i, "hash-order", raw)
+            if any(rx.search(code) for rx in WALL_CLOCK_RES):
+                self.report(i, "wall-clock", raw)
+
+    def _parallel_extents(self):
+        """Yields (start_line, end_line) of each ParallelFor(...) call,
+        1-indexed inclusive, by balancing parens from the call site."""
+        for i, code in enumerate(self.code_lines, start=1):
+            m = PARALLEL_CALL_RE.search(code)
+            if not m:
+                continue
+            depth = 0
+            line = i
+            col = m.end() - 1  # The opening paren.
+            while line <= len(self.code_lines):
+                text = self.code_lines[line - 1]
+                for j in range(col, len(text)):
+                    if text[j] == "(":
+                        depth += 1
+                    elif text[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            yield (i, line)
+                            line = None
+                            break
+                if line is None:
+                    break
+                line += 1
+                col = 0
+
+    def _lint_float_parallel_accum(self):
+        extents = list(self._parallel_extents())
+        if not extents:
+            return
+        # float/double declarations with their lines; a name declared
+        # inside the extent is lambda-local (per-index, deterministic).
+        decls = {}
+        for i, code in enumerate(self.code_lines, start=1):
+            for m in FLOAT_DECL_RE.finditer(code):
+                decls.setdefault(m.group(1), []).append(i)
+        if not decls:
+            return
+        accum = re.compile(
+            r"\b(%s)\s*(?:\+=|-=|\*=|/=)" %
+            "|".join(re.escape(n) for n in decls))
+        for (start, end) in extents:
+            for line in range(start, end + 1):
+                for m in accum.finditer(self.code_lines[line - 1]):
+                    name = m.group(1)
+                    declared_inside = any(start <= d <= end
+                                          for d in decls[name])
+                    if not declared_inside:
+                        self.report(line, "float-parallel-accum",
+                                    self.raw_lines[line - 1])
+
+
+def scan(paths, repo_root):
+    files = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, _, names in os.walk(path):
+            for name in sorted(names):
+                if name.endswith((".cc", ".h", ".cpp", ".hpp")):
+                    files.append(os.path.join(dirpath, name))
+    files.sort()
+    findings, suppressed = [], []
+    for path in files:
+        rel = os.path.relpath(path, repo_root)
+        is_library = rel.startswith("src" + os.sep)
+        lint = FileLint(path, rel, is_library)
+        lint.lint()
+        findings.extend(lint.findings)
+        suppressed.extend(lint.suppressed)
+    key = lambda e: (e["file"], e["line"], e["rule"])  # noqa: E731
+    return sorted(findings, key=key), sorted(suppressed, key=key), len(files)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Determinism lint over the oscar:: sources.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/ tools/)")
+    parser.add_argument("--json", metavar="OUT",
+                        help="write the machine-readable report here")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print("%-22s %s" % (rule, description))
+        return 0
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or [os.path.join(repo_root, "src"),
+                           os.path.join(repo_root, "tools")]
+    for path in paths:
+        if not os.path.exists(path):
+            print("lint_determinism: no such path: %s" % path,
+                  file=sys.stderr)
+            return 2
+
+    findings, suppressed, files_scanned = scan(paths, repo_root)
+
+    if args.json:
+        report = {
+            "schema": "oscar-lint-v1",
+            "files_scanned": files_scanned,
+            "rules": sorted(RULES),
+            "findings": findings,
+            "suppressed": suppressed,
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    for entry in findings:
+        detail = entry.get("detail")
+        print("%s:%d: [%s] %s%s" % (
+            entry["file"], entry["line"], entry["rule"], entry["snippet"],
+            " (%s)" % detail if detail else ""))
+    if suppressed:
+        print("lint_determinism: %d suppressed finding(s) with reasons"
+              % len(suppressed))
+    if findings:
+        print("lint_determinism: %d unsuppressed finding(s) in %d file(s)"
+              % (len(findings), files_scanned))
+        return 1
+    print("lint_determinism: clean (%d files, %d suppressed)"
+          % (files_scanned, len(suppressed)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
@@ -213,6 +214,11 @@ void PrintBenchJson(const ScenarioOptions& base, const ServeOptions& serve,
 }
 
 int RunCli(const std::vector<std::string>& args) {
+  // Runtime invariant audits (common/audit.h): the growth/freeze path
+  // under this CLI self-checks when OSCAR_AUDIT=1. Stderr only.
+  if (AuditEnabled()) {
+    std::cerr << "oscar_serve: OSCAR_AUDIT=1 — runtime invariant audits on\n";
+  }
   ServeOptions serve;
   bool bench_json = false;
   bool list_policies = false;

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/experiments.h"
@@ -105,6 +106,12 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 int RunCli(const std::vector<std::string>& args) {
+  // Runtime invariant audits (common/audit.h): growth checkpoints,
+  // scenario freezes, and delta restores all self-check under
+  // OSCAR_AUDIT=1. Stderr only — stdout stays byte-deterministic.
+  if (AuditEnabled()) {
+    std::cerr << "oscar_sim: OSCAR_AUDIT=1 — runtime invariant audits on\n";
+  }
   bool list = false;
   bool cross_check = false;
   std::string trace_path;
