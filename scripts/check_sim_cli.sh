@@ -54,6 +54,18 @@ expect_reject "missing --trace-format value"    --trace-file=a --trace-format
 expect_reject "--trace-format without file"     --trace-format=otrace
 expect_reject "negative --queue-cadence-ms"     --queue-cadence-ms=-1
 expect_reject "non-numeric --queue-cadence-ms"  --queue-cadence-ms=soon
+expect_reject "negative --maintenance-cadence-ms"    --maintenance-cadence-ms=-5
+expect_reject "non-numeric --maintenance-cadence-ms" --maintenance-cadence-ms=often
+expect_reject "empty --maintenance-cadence-ms value" --maintenance-cadence-ms=
+expect_reject "missing --maintenance-cadence-ms value" --maintenance-cadence-ms
+expect_reject "empty --fault-plan value"        --fault-plan=
+expect_reject "missing --fault-plan value"      --fault-plan
+expect_reject "unknown fault kind"              --fault-plan=meteor@10:0.2,0.1
+expect_reject "fault plan missing @"            --fault-plan=crash10:0.2,0.1
+expect_reject "crash cannot heal"               --fault-plan=crash@10+5:0.2,0.1
+expect_reject "partition loss out of range"     --fault-plan=partition@10+5:0.0,0.2,0.5,0.2,1.5
+expect_reject "slow multiplier below 1"         --fault-plan=slow@10+5:0.2,0.1,0.5
+expect_reject "trailing fault separator"        --fault-plan='crash@10:0.2,0.1;'
 expect_reject "unknown flag"                    --frobnicate
 expect_reject "unknown scenario"                no-such-scenario
 expect_reject "unknown scenario after valid"    baseline no-such-scenario
@@ -63,6 +75,15 @@ expect_ok "--help exits 0"  --help
 expect_ok "--list exits 0"  --list
 # Repeated --scenarios accumulate (documented behavior, like bare names).
 expect_ok "repeated --scenarios accumulate"  --scenarios=baseline --scenarios=message-loss
+# Fault injection knobs: a valid plan plus an explicit cadence runs, and
+# repeated --fault-plan flags accumulate like --scenarios.
+expect_ok "valid fault plan with cadence" \
+  --maintenance-cadence-ms=25 \
+  --fault-plan='crash@5:0.2,0.1;slow@2+4:0.5,0.2' baseline
+expect_ok "repeated --fault-plan accumulate" \
+  --fault-plan='crash@5:0.2,0.1' --fault-plan='partition@2+4:0.0,0.2,0.5,0.2' \
+  baseline
+expect_ok "cadence zero disables maintenance"  --maintenance-cadence-ms=0 repair-vs-churn
 
 if [[ "${fail}" -eq 0 ]]; then
   echo "check_sim_cli: all flag-parsing corners OK"

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Thread-invariance smoke for the hostile scenario runner, run under
+# ctest: the oscar_sim summary (stdout) — scenario table, recovery
+# table, maintenance table — must be byte-identical at OSCAR_THREADS=1
+# vs 4 and across repeated runs for seeds 42-45. The hostile scenarios
+# exercise every fault path (partitions, slowdowns, region crashes,
+# virtual-time maintenance rounds), so this pins the whole
+# fault-injection pipeline to the determinism contract. Only stderr
+# carries wall-clock timing.
+#
+#   scripts/check_sim_determinism.sh path/to/oscar_sim
+#
+# The script pins OSCAR_THREADS itself (ctest may run with either
+# ambient value; both runs happen here regardless).
+
+set -euo pipefail
+
+sim="${1:?usage: check_sim_determinism.sh path/to/oscar_sim}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+export OSCAR_BENCH_SIZE=150 OSCAR_BENCH_QUERIES=80
+unset OSCAR_BENCH_SCALE 2>/dev/null || true
+
+scenarios=(partition-heal repair-vs-churn adversarial-hotkeys cascade-slowdown)
+
+fail=0
+for seed in 42 43 44 45; do
+  for threads in 1 4; do
+    out="${workdir}/seed${seed}_t${threads}.out"
+    if ! OSCAR_BENCH_SEED="${seed}" OSCAR_THREADS="${threads}" \
+         "${sim}" "${scenarios[@]}" > "${out}" 2>/dev/null; then
+      echo "FAIL seed=${seed} threads=${threads}: nonzero exit" >&2
+      fail=1
+    fi
+  done
+  if ! cmp -s "${workdir}/seed${seed}_t1.out" \
+              "${workdir}/seed${seed}_t4.out"; then
+    echo "FAIL seed=${seed}: summary differs between OSCAR_THREADS=1 and 4" >&2
+    diff "${workdir}/seed${seed}_t1.out" "${workdir}/seed${seed}_t4.out" |
+      head -20 >&2 || true
+    fail=1
+  fi
+  # Rerun at 1 thread: same seed, same bytes (no hidden global state).
+  rerun="${workdir}/seed${seed}_rerun.out"
+  OSCAR_BENCH_SEED="${seed}" OSCAR_THREADS=1 \
+    "${sim}" "${scenarios[@]}" > "${rerun}" 2>/dev/null || true
+  if ! cmp -s "${workdir}/seed${seed}_t1.out" "${rerun}"; then
+    echo "FAIL seed=${seed}: repeated run differs from the first" >&2
+    fail=1
+  fi
+done
+
+# Different seeds must NOT collide (a trivially constant summary would
+# pass the diffs above while measuring nothing).
+if cmp -s "${workdir}/seed42_t1.out" "${workdir}/seed43_t1.out"; then
+  echo "FAIL: seeds 42 and 43 produced identical summaries" >&2
+  fail=1
+fi
+
+# The fault pipeline actually ran: every hostile scenario must report
+# at least one recovery row (the table only prints when non-empty).
+if ! grep -q "recovery (per injected fault)" "${workdir}/seed42_t1.out"; then
+  echo "FAIL: no recovery table in the seed-42 summary" >&2
+  fail=1
+fi
+for scenario in "${scenarios[@]}"; do
+  if ! grep -q "^| ${scenario}" "${workdir}/seed42_t1.out"; then
+    echo "FAIL: scenario ${scenario} missing from the seed-42 summary" >&2
+    fail=1
+  fi
+done
+
+if [[ "${fail}" -eq 0 ]]; then
+  echo "check_sim_determinism: byte-identical at 1 vs 4 threads, seeds 42-45"
+fi
+exit "${fail}"

@@ -93,6 +93,13 @@ def trace_section(doc):
     return trace if isinstance(trace, dict) else None
 
 
+def index_recovery(doc):
+    # Keyed by (scenario, fault label); absent in pre-PR10 artifacts.
+    return {(row.get("scenario"), row.get("fault")): row
+            for row in doc.get("recovery", [])
+            if isinstance(row, dict)}
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two run_benches perf artifacts.")
@@ -257,6 +264,30 @@ def main():
             # the diff but never flag it — a changed service model is a
             # code change to review, not a runner-noise regression.
             print(f"{label:<34} {b:>10.2f} {c:>10.2f} {delta:>+7.1%}")
+
+    base_r, curr_r = index_recovery(base), index_recovery(curr)
+    if curr_r:
+        # Recovery numbers are virtual-time and deterministic per seed:
+        # a changed time-to-recover is a code change to review (routing,
+        # maintenance, fault tuning), not runner noise — reported but
+        # never fatal.
+        print(f"\n{'recovery (ttr_ms, virtual)':<40} {'base':>8} "
+              f"{'curr':>8} {'dip%':>6}")
+        for key in sorted(curr_r):
+            row = curr_r[key]
+            label = f"{key[0]}[{key[1]}]"
+            c = row.get("ttr_ms", 0.0)
+            base_row = base_r.get(key)
+            if base_row is None:
+                print(f"{label:<40} {'--':>8} {c:>8.1f} "
+                      f"{row.get('dip', 0.0):>6.1f}")
+                continue
+            b = base_row.get("ttr_ms", 0.0)
+            print(f"{label:<40} {b:>8.1f} {c:>8.1f} "
+                  f"{row.get('dip', 0.0):>6.1f}")
+        for key in sorted(set(base_r) - set(curr_r)):
+            print(f"{key[0] + '[' + key[1] + ']':<40} "
+                  f"{base_r[key].get('ttr_ms', 0.0):>8.1f} {'--':>8}")
 
     base_t, curr_t = trace_section(base), trace_section(curr)
     if curr_t:

@@ -11,15 +11,17 @@
 # harnesses.
 #
 # Side effect: writes ${build_dir}/${OSCAR_BENCH_OUT} (default
-# BENCH_pr8.json) — per-harness wall time, micro_core benchmark
+# BENCH_pr10.json) — per-harness wall time, micro_core benchmark
 # numbers, the growth_probe checkpoint-rewiring wall times (plus peak
 # RSS) at 1 and OSCAR_PROBE_THREADS (default 4) worker threads, the
 # batched-join A/B (sequential vs join_batch growth walls, interleaved
 # min-of-k), an optional huge-tier growth row (OSCAR_BENCH_HUGE=1;
 # OSCAR_BENCH_SIZE can shrink it for CI), the oscar_serve firehose
-# sweep (route-phase lookups/s + the rate x policy cells), and the
-# trace-overhead probe (detached vs columnar-attached
-# scenario walls) — the perf-trajectory artifact CI uploads per run — and copies
+# sweep (route-phase lookups/s + the rate x policy cells), the
+# trace-overhead probe (detached vs columnar-attached scenario walls),
+# and the hostile-scenario recovery rows (per-fault dip and
+# time-to-recover in virtual ms, deterministic per seed) — the
+# perf-trajectory artifact CI uploads per run — and copies
 # it to the repo root so the trajectory is comparable across commits
 # (scripts/compare_benches.py diffs two of them). The JSON is
 # informational; the gate is still the exit codes and VIOLATED grep.
@@ -34,7 +36,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 # committed one. A malformed name is an error, not a silent fallback —
 # falling back to the default would overwrite the committed baseline
 # and corrupt the A/B flow documented in compare_benches.py.
-artifact="${OSCAR_BENCH_OUT:-BENCH_pr8.json}"
+artifact="${OSCAR_BENCH_OUT:-BENCH_pr10.json}"
 if [[ ! "${artifact}" =~ ^[A-Za-z0-9._-]+$ ]]; then
   echo "run_benches: invalid OSCAR_BENCH_OUT '${artifact}'" \
        "(want a bare file name, [A-Za-z0-9._-]+)" >&2
@@ -236,6 +238,37 @@ if [[ -x "${build_dir}/oscar_sim" ]]; then
   rm -f "${trace_otrace}"
 fi
 
+# Hostile-scenario recovery rows: one pinned-scale run over the four
+# fault-injection scenarios, with the per-fault recovery table parsed
+# into JSON. Every number is virtual-time and deterministic per seed,
+# so the compare script can diff time-to-recover across commits
+# without runner noise (informational — never fatal). heal_ms "-"
+# (permanent faults) and ttr_ms "never" (no re-cross) map to -1.
+recovery_rows=()
+if [[ -x "${build_dir}/oscar_sim" ]]; then
+  while IFS= read -r line; do
+    recovery_rows+=("${line}")
+  done < <(OSCAR_BENCH_SIZE=300 OSCAR_BENCH_QUERIES=240 OSCAR_BENCH_SEED=42 \
+           "${build_dir}/oscar_sim" partition-heal repair-vs-churn \
+             adversarial-hotkeys cascade-slowdown 2>/dev/null |
+    awk -F'|' '/-- recovery/ { t = 1; next } !NF { t = 0 }
+      t && /@/ {
+        for (i = 2; i <= 12; ++i) gsub(/^ +| +$/, "", $i)
+        heal = ($5 == "-") ? -1 : $5
+        ttr = ($10 == "never") ? -1 : $10
+        printf "    {\"scenario\": \"%s\", \"fault\": \"%s\", \
+\"at_ms\": %s, \"heal_ms\": %s, \"crashed\": %s, \"ok_before\": %s, \
+\"dip\": %s, \"ok_after\": %s, \"ttr_ms\": %s},\n", \
+          $2, $3, $4, heal, $6, $7, $8, $9, ttr
+      }')
+  if [[ "${#recovery_rows[@]}" -gt 0 ]]; then
+    last=$(( ${#recovery_rows[@]} - 1 ))
+    recovery_rows[${last}]="${recovery_rows[${last}]%,}"
+  else
+    echo "run_benches: recovery probe produced no rows" >&2
+  fi
+fi
+
 # Build-flavor stamp for the artifact's top level (growth_probe
 # --flavor prints the compile-time CMake definitions as one JSON
 # object). compare_benches.py reads it and refuses to treat wall-time
@@ -285,7 +318,12 @@ scale="${OSCAR_BENCH_SCALE:-small}"
   echo "  \"join_ab\": ${join_ab_row},"
   echo "  \"growth_huge\": ${huge_row},"
   echo "  \"serve\": ${serve_row},"
-  echo "  \"trace\": ${trace_row}"
+  echo "  \"trace\": ${trace_row},"
+  echo "  \"recovery\": ["
+  for row in "${recovery_rows[@]+"${recovery_rows[@]}"}"; do
+    echo "${row}"
+  done
+  echo "  ]"
   echo "}"
 } > "${json}"
 

@@ -1,0 +1,107 @@
+#include "metrics/recovery_metrics.h"
+
+#include <algorithm>
+
+namespace oscar {
+namespace {
+
+/// Success fraction over completions[first, last).
+double SuccessOver(const std::vector<const LookupOutcome*>& completions,
+                   size_t first, size_t last) {
+  if (last <= first) return 1.0;
+  size_t ok = 0;
+  for (size_t i = first; i < last; ++i) {
+    if (completions[i]->success) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(last - first);
+}
+
+/// Mean hops of the SUCCESSFUL completions in [first, last).
+double HopsOver(const std::vector<const LookupOutcome*>& completions,
+                size_t first, size_t last) {
+  size_t ok = 0;
+  double hops = 0.0;
+  for (size_t i = first; i < last; ++i) {
+    if (!completions[i]->success) continue;
+    ++ok;
+    hops += completions[i]->hops;
+  }
+  return ok > 0 ? hops / static_cast<double>(ok) : 0.0;
+}
+
+}  // namespace
+
+RecoveryReport ComputeRecovery(const std::vector<LookupOutcome>& outcomes,
+                               const std::vector<InjectedFault>& faults,
+                               const RecoveryOptions& options) {
+  RecoveryReport report;
+  std::vector<const LookupOutcome*> done;
+  done.reserve(outcomes.size());
+  for (const LookupOutcome& outcome : outcomes) {
+    if (outcome.finished) done.push_back(&outcome);
+  }
+  // Stable on equal completion times, so simultaneous completions keep
+  // submission order and the windows are reproducible bytes.
+  std::stable_sort(done.begin(), done.end(),
+                   [](const LookupOutcome* a, const LookupOutcome* b) {
+                     return a->completed_ms < b->completed_ms;
+                   });
+  const size_t window = std::max<size_t>(1, options.window);
+
+  report.faults.reserve(faults.size());
+  for (const InjectedFault& fault : faults) {
+    FaultRecovery rec;
+    rec.label = fault.label;
+    rec.at_ms = fault.at_ms;
+    rec.heal_ms = fault.heal_ms;
+    rec.crashed = fault.crashed;
+
+    // First completion strictly after injection.
+    const size_t split = static_cast<size_t>(
+        std::upper_bound(done.begin(), done.end(), fault.at_ms,
+                         [](double t, const LookupOutcome* o) {
+                           return t < o->completed_ms;
+                         }) -
+        done.begin());
+    const size_t before_first = split > window ? split - window : 0;
+    rec.ok_before = SuccessOver(done, before_first, split);
+    rec.hops_before = HopsOver(done, before_first, split);
+
+    const size_t after = done.size() - split;
+    if (after == 0) {
+      // Nothing completed post-injection: no dip observable.
+      rec.dip = rec.ok_before;
+      rec.ok_after = rec.ok_before;
+      rec.hops_after = rec.hops_before;
+      rec.ttr_ms = 0.0;
+      report.faults.push_back(std::move(rec));
+      continue;
+    }
+    const size_t w = std::min(window, after);
+    const double threshold = options.threshold * rec.ok_before;
+    rec.dip = 1.0;
+    bool dipped = false;
+    bool recovered = false;
+    for (size_t last = split + w; last <= done.size(); ++last) {
+      const double rate = SuccessOver(done, last - w, last);
+      rec.dip = std::min(rec.dip, rate);
+      if (rate < threshold) {
+        dipped = true;
+      } else if (dipped && !recovered) {
+        recovered = true;
+        rec.ttr_ms = done[last - 1]->completed_ms - fault.at_ms;
+      }
+    }
+    if (!dipped) {
+      rec.ttr_ms = 0.0;  // Never fell below the threshold.
+    } else if (!recovered) {
+      rec.ttr_ms = -1.0;  // Fell and stayed down through the run's end.
+    }
+    rec.ok_after = SuccessOver(done, done.size() - w, done.size());
+    rec.hops_after = HopsOver(done, done.size() - w, done.size());
+    report.faults.push_back(std::move(rec));
+  }
+  return report;
+}
+
+}  // namespace oscar

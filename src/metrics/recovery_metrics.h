@@ -1,0 +1,62 @@
+// Recovery metrics: how fast (in virtual time) the overlay's lookup
+// success rate comes back after each injected fault. Computed offline
+// from the per-lookup outcome log and the fault injection records —
+// pure functions of already-deterministic inputs, so the numbers are
+// byte-stable across thread counts and repeat runs.
+//
+// The windowed success rate is the fraction of successful lookups in a
+// sliding window of consecutive completions (ordered by virtual
+// completion time, submission id breaking ties). Time-to-recover for a
+// fault is measured against a RELATIVE threshold —
+// `threshold * ok_before` — because hostile scenarios run with ambient
+// loss and never sit at an absolute 1.0 baseline.
+
+#ifndef OSCAR_METRICS_RECOVERY_METRICS_H_
+#define OSCAR_METRICS_RECOVERY_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/fault_plan.h"
+#include "sim/message_sim.h"
+
+namespace oscar {
+
+struct RecoveryOptions {
+  /// Completions per sliding success window (clamped to what exists).
+  size_t window = 25;
+  /// Recovery re-crossing level as a fraction of the pre-fault rate.
+  double threshold = 0.9;
+};
+
+/// Per-fault recovery record. Sentinels: ttr_ms == 0 means the windowed
+/// rate never dipped below the threshold (nothing to recover from);
+/// ttr_ms < 0 means it dipped and never came back within the run.
+struct FaultRecovery {
+  std::string label;       // FaultSpec::Label() of the injected fault.
+  double at_ms = 0.0;
+  double heal_ms = -1.0;   // < 0: the fault never healed (e.g. a crash).
+  size_t crashed = 0;      // Peers a region crash took down.
+  double ok_before = 1.0;  // Windowed success just before injection.
+  double dip = 1.0;        // Worst post-injection windowed success.
+  double ok_after = 1.0;   // Windowed success over the final window.
+  double hops_before = 0.0;  // Mean hops of pre-fault window successes.
+  double hops_after = 0.0;   // Mean hops of final-window successes.
+  double ttr_ms = 0.0;     // Virtual ms from injection to re-crossing.
+};
+
+struct RecoveryReport {
+  std::vector<FaultRecovery> faults;  // Plan order.
+  bool empty() const { return faults.empty(); }
+};
+
+/// Replays the outcome log against each injected fault. Unfinished
+/// lookups are ignored (they never completed, so they have no
+/// completion time to order by).
+RecoveryReport ComputeRecovery(const std::vector<LookupOutcome>& outcomes,
+                               const std::vector<InjectedFault>& faults,
+                               const RecoveryOptions& options = {});
+
+}  // namespace oscar
+
+#endif  // OSCAR_METRICS_RECOVERY_METRICS_H_

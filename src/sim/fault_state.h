@@ -1,0 +1,108 @@
+// Live fault switchboard shared between the fault injector and the
+// message engine. FaultInjector events arm and disarm rules here in
+// virtual time; MessageSim consults the current rules on every
+// transmission (directed loss) and service start (slowdown). Rules are
+// keyed by ring-segment membership — a pure function of peer keys, so
+// consulting them consumes no rng draws and enabling an empty
+// switchboard perturbs nothing.
+
+#ifndef OSCAR_SIM_FAULT_STATE_H_
+#define OSCAR_SIM_FAULT_STATE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/key_id.h"
+
+namespace oscar {
+
+/// A clockwise ring segment [from, from + span). span <= 0 matches
+/// nothing, span >= 1 matches every key.
+struct RegionSpec {
+  KeyId from;
+  double span = 0.0;
+
+  bool Contains(KeyId key) const {
+    if (span <= 0.0) return false;
+    if (span >= 1.0) return true;
+    return InClockwiseSegment(key, from, from.OffsetBy(span));
+  }
+};
+
+/// The faults currently in force. Partial partitions are DIRECTED:
+/// a rule drops src->dst transmissions only, so injecting one
+/// direction of a region pair models asymmetric reachability (dst can
+/// still answer src through other routes). Slowdowns multiply the
+/// service time of every peer whose key falls in the region.
+class ActiveFaults {
+ public:
+  /// Arms directed loss from `src` to `dst` with probability `loss`.
+  /// `id` names the injecting fault so Heal can disarm exactly its rules.
+  void AddPartition(size_t id, RegionSpec src, RegionSpec dst, double loss) {
+    loss_rules_.push_back({id, src, dst, loss});
+  }
+
+  /// Arms a service-time multiplier over `region`.
+  void AddSlowdown(size_t id, RegionSpec region, double multiplier) {
+    slow_rules_.push_back({id, region, multiplier});
+  }
+
+  /// Disarms every rule fault `id` armed (partition heal / burst end).
+  void Heal(size_t id) {
+    loss_rules_.erase(
+        std::remove_if(loss_rules_.begin(), loss_rules_.end(),
+                       [id](const LossRule& r) { return r.id == id; }),
+        loss_rules_.end());
+    slow_rules_.erase(
+        std::remove_if(slow_rules_.begin(), slow_rules_.end(),
+                       [id](const SlowRule& r) { return r.id == id; }),
+        slow_rules_.end());
+  }
+
+  /// Loss probability for a transmission from key `from` to key `to`:
+  /// the worst matching rule (rules do not compound).
+  double LossFor(KeyId from, KeyId to) const {
+    double loss = 0.0;
+    for (const LossRule& rule : loss_rules_) {
+      if (rule.loss > loss && rule.src.Contains(from) &&
+          rule.dst.Contains(to)) {
+        loss = rule.loss;
+      }
+    }
+    return loss;
+  }
+
+  /// Service-time multiplier for the peer owning `key` (>= 1; the worst
+  /// matching rule, slowdowns do not compound either).
+  double SlowMultiplierFor(KeyId key) const {
+    double multiplier = 1.0;
+    for (const SlowRule& rule : slow_rules_) {
+      if (rule.multiplier > multiplier && rule.region.Contains(key)) {
+        multiplier = rule.multiplier;
+      }
+    }
+    return multiplier;
+  }
+
+  bool empty() const { return loss_rules_.empty() && slow_rules_.empty(); }
+
+ private:
+  struct LossRule {
+    size_t id;
+    RegionSpec src;
+    RegionSpec dst;
+    double loss;
+  };
+  struct SlowRule {
+    size_t id;
+    RegionSpec region;
+    double multiplier;
+  };
+  std::vector<LossRule> loss_rules_;
+  std::vector<SlowRule> slow_rules_;
+};
+
+}  // namespace oscar
+
+#endif  // OSCAR_SIM_FAULT_STATE_H_

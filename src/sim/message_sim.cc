@@ -112,7 +112,13 @@ void MessageSim::BeginService(PeerId peer) {
 }
 
 double MessageSim::ServiceMsFor(PeerId peer) const {
-  if (options_.slow_fraction <= 0.0) return options_.service_ms;
+  // Injected slowdown bursts stack on top of the static slow tier: a
+  // statically-slow peer inside a slowed region pays both multipliers.
+  double fault_mult = 1.0;
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    fault_mult = options_.faults->SlowMultiplierFor(net_->key(peer));
+  }
+  if (options_.slow_fraction <= 0.0) return options_.service_ms * fault_mult;
   // Splitmix64 of the ring key: slow membership is a stable property of
   // the peer, consumes no rng draws, and survives churn joins.
   uint64_t z = net_->key(peer).raw + 0x9e3779b97f4a7c15ULL;
@@ -120,9 +126,10 @@ double MessageSim::ServiceMsFor(PeerId peer) const {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   z ^= z >> 31;
   const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
-  return u < options_.slow_fraction
-             ? options_.service_ms * options_.slow_multiplier
-             : options_.service_ms;
+  const double base = u < options_.slow_fraction
+                          ? options_.service_ms * options_.slow_multiplier
+                          : options_.service_ms;
+  return base * fault_mult;
 }
 
 void MessageSim::EndService(PeerId peer) {
@@ -194,8 +201,17 @@ void MessageSim::SendPending(uint64_t id, double extra_delay_ms) {
   Lookup& lookup = lookups_[id];
   const PeerId to = lookup.pending_dest;
   ++messages_sent_;
-  const bool lost = options_.loss_rate > 0.0 &&
-                    rng_->NextDouble() < options_.loss_rate;
+  // Armed partition rules raise the loss of matching transmissions
+  // above the ambient iid rate (the worst rule wins; they don't
+  // compound). The draw is skipped entirely at 0.0 effective loss, so
+  // an attached-but-quiet switchboard consumes no rng.
+  double loss_rate = options_.loss_rate;
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    const double fault_loss = options_.faults->LossFor(
+        net_->key(lookup.pending_from), net_->key(to));
+    if (fault_loss > loss_rate) loss_rate = fault_loss;
+  }
+  const bool lost = loss_rate > 0.0 && rng_->NextDouble() < loss_rate;
   if (lost) {
     ++lost_messages_;
     Emit(TraceKind::kLost, id, lookup.pending_from, to, 0);

@@ -31,6 +31,7 @@
 #include "metrics/message_metrics.h"
 #include "routing/route_stepper.h"
 #include "sim/event_engine.h"
+#include "sim/fault_state.h"
 #include "sim/latency_model.h"
 #include "trace/trace.h"
 
@@ -60,6 +61,13 @@ struct MessageSimOptions {
   uint32_t max_retries = 2;
   /// Probability an individual transmission is lost in the network.
   double loss_rate = 0.0;
+  /// Live fault switchboard (borrowed; may be null). Armed partition
+  /// rules raise the loss of matching transmissions above `loss_rate`;
+  /// armed slowdown rules multiply the service time of matching peers.
+  /// An empty switchboard changes nothing — rule checks are pure key
+  /// functions and a 0.0 effective loss draws no rng, so attaching one
+  /// perturbs no stream until a fault actually fires.
+  const ActiveFaults* faults = nullptr;
   /// Admission cap on concurrently active lookups; excess submissions
   /// wait in an admission backlog (their wait counts toward latency).
   size_t max_in_flight = 64;

@@ -83,8 +83,10 @@ Result<GrownTopology> GrowScenarioTopology(const ScenarioOptions& base) {
 
 const std::vector<std::string>& ScenarioCatalog() {
   static const std::vector<std::string> kCatalog = {
-      "baseline",     "flash-crowd", "rolling-churn",
-      "regional-crash", "message-loss", "slow-peers",
+      "baseline",       "flash-crowd",     "rolling-churn",
+      "regional-crash", "message-loss",    "slow-peers",
+      "partition-heal", "repair-vs-churn", "adversarial-hotkeys",
+      "cascade-slowdown",
   };
   return kCatalog;
 }
@@ -139,6 +141,115 @@ Result<ScenarioOptions> MakeScenarioOptions(const std::string& name,
     base.sim.slow_multiplier = 50.0;
     return base;
   }
+  // The hostile scenarios below layer a FaultPlan (and, by default,
+  // virtual-time maintenance rounds) on the steady workload. Retry
+  // budgets are kept tight so degraded routes actually fail instead of
+  // grinding through — that is what makes recovery measurable.
+  if (name == "partition-heal") {
+    // A partial partition severs two third-of-the-ring regions from
+    // each other for half the run (a full directed cut both ways), then
+    // heals. Cross-cut lookups burn their single retry and fail; the
+    // recovery table shows the dip and the re-crossing after the heal.
+    base.sim.loss_rate = 0.03;
+    base.sim.max_retries = 1;
+    base.sim.timeout_ms = span_ms / 10.0;
+    FaultSpec cut;
+    cut.kind = FaultKind::kPartition;
+    cut.at_ms = span_ms * 0.2;
+    cut.duration_ms = span_ms * 0.5;
+    cut.a = {KeyId::FromUnit(0.0), 0.35};
+    cut.b = {KeyId::FromUnit(0.5), 0.35};
+    cut.severity = 1.0;
+    base.faults.faults.push_back(cut);
+    if (base.maintenance_cadence_ms < 0.0) {
+      base.maintenance_cadence_ms = span_ms / 10.0;
+    }
+    return base;
+  }
+  if (name == "repair-vs-churn") {
+    // Lazy repair racing continuous churn plus a correlated crash,
+    // under ambient loss with a single retry: stale routing tables
+    // translate directly into retry-exhaustion failures, so pruning
+    // and topping-up links measurably raises the success rate over the
+    // same seed without maintenance.
+    base.churn.events = 10;
+    base.churn.start_ms = span_ms / 12.0;
+    base.churn.interval_ms = span_ms / 12.0;
+    base.churn.leaves_per_event =
+        std::max<size_t>(1, base.network_size / 18);
+    base.churn.joins_per_event = base.churn.leaves_per_event;
+    base.sim.loss_rate = 0.10;
+    base.sim.max_retries = 0;
+    base.sim.timeout_ms = span_ms / 10.0;
+    FaultSpec crash;
+    crash.kind = FaultKind::kRegionCrash;
+    crash.at_ms = span_ms * 0.3;
+    crash.a = {KeyId::FromUnit(0.6), 0.12};
+    base.faults.faults.push_back(crash);
+    if (base.maintenance_cadence_ms < 0.0) {
+      base.maintenance_cadence_ms = span_ms / 16.0;
+    }
+    return base;
+  }
+  if (name == "adversarial-hotkeys") {
+    // Every popular key is owned by one small region (adversarial
+    // placement), and mid-run that region becomes near-unreachable: a
+    // DIRECTED cut drops 80% of transmissions INTO it from everywhere
+    // while its own outbound traffic still flows. Almost all queries
+    // need the region, so the dip is deep until the cut heals.
+    base.hot_keys = 12;
+    base.zipf_exponent = 1.1;
+    base.hot_key_region_center = 0.3;
+    base.hot_key_region_span = 0.1;
+    base.sim.loss_rate = 0.03;
+    base.sim.max_retries = 1;
+    base.sim.timeout_ms = span_ms / 10.0;
+    FaultSpec cut;
+    cut.kind = FaultKind::kPartition;
+    cut.at_ms = span_ms * 0.3;
+    cut.duration_ms = span_ms * 0.3;
+    cut.a = {KeyId::FromUnit(0.0), 1.0};  // Sources: the whole ring.
+    cut.b = {KeyId::FromUnit(0.3), 0.1};  // Destinations: the hot region.
+    cut.severity = 0.8;
+    cut.symmetric = false;
+    base.faults.faults.push_back(cut);
+    if (base.maintenance_cadence_ms < 0.0) {
+      base.maintenance_cadence_ms = span_ms / 10.0;
+    }
+    return base;
+  }
+  if (name == "cascade-slowdown") {
+    // A slow burst over a third of the ring (queues build behind 20x
+    // service times), and mid-burst the most loaded slice of the slowed
+    // region crashes outright — the classic overload-then-collapse
+    // cascade. The slow burst's TTR window overlaps the collapse, so
+    // both rows report the same recovery tail measured from their own
+    // injection time.
+    base.sim.service_ms = 1.0;
+    base.sim.loss_rate = 0.12;
+    base.sim.max_retries = 1;
+    base.sim.timeout_ms = span_ms / 10.0;
+    FaultSpec slow;
+    slow.kind = FaultKind::kSlowdown;
+    slow.at_ms = span_ms * 0.2;
+    slow.duration_ms = span_ms * 0.4;
+    slow.a = {KeyId::FromUnit(0.65), 0.3};
+    slow.severity = 20.0;
+    base.faults.faults.push_back(slow);
+    FaultSpec collapse;
+    collapse.kind = FaultKind::kRegionCrash;
+    collapse.at_ms = span_ms * 0.45;
+    collapse.a = {KeyId::FromUnit(0.68), 0.18};
+    base.faults.faults.push_back(collapse);
+    // Overload mostly shows up as latency, not failure: a collapse that
+    // costs "only" a tenth of the lookups still matters here, so the
+    // dip detector runs tighter than the default 0.9.
+    base.recovery_threshold = 0.92;
+    if (base.maintenance_cadence_ms < 0.0) {
+      base.maintenance_cadence_ms = span_ms / 8.0;
+    }
+    return base;
+  }
   return Status::Error(StrCat("unknown scenario: '", name,
                               "' (see ScenarioCatalog)"));
 }
@@ -189,7 +300,12 @@ Result<ScenarioResult> RunScenarioOn(const std::string& name,
   // same network can host different workloads comparably.
   Rng rng(options.seed ^ 0x0a02bdbf7bb3c0a7ULL);
   EventEngine engine;
-  MessageSim sim(&engine, &net, options.sim, &rng);
+  // The live fault switchboard the message engine consults; empty (and
+  // free) unless the plan below arms rules mid-run.
+  ActiveFaults active_faults;
+  MessageSimOptions sim_options = options.sim;
+  sim_options.faults = &active_faults;
+  MessageSim sim(&engine, &net, sim_options, &rng);
 
   // Workload: (source, key) pairs drawn up-front in submit order.
   KeyDistributionPtr query_keys = peer_keys;
@@ -197,7 +313,14 @@ Result<ScenarioResult> RunScenarioOn(const std::string& name,
     std::vector<KeyId> hot;
     hot.reserve(options.hot_keys);
     for (size_t i = 0; i < options.hot_keys; ++i) {
-      hot.push_back(peer_keys->Sample(&rng));
+      if (options.hot_key_region_span > 0.0) {
+        // Adversarial placement: the whole hot set inside one segment.
+        hot.push_back(KeyId::FromUnit(options.hot_key_region_center +
+                                      rng.NextDouble() *
+                                          options.hot_key_region_span));
+      } else {
+        hot.push_back(peer_keys->Sample(&rng));
+      }
     }
     query_keys = std::make_shared<ZipfHotKeys>(std::move(hot),
                                                options.zipf_exponent);
@@ -240,21 +363,90 @@ Result<ScenarioResult> RunScenarioOn(const std::string& name,
     });
   }
 
+  // Injected faults: crashes through the churn hook, partitions and
+  // slowdowns through the switchboard. Trace rows (kFaultInject /
+  // kFaultHeal) go to the structured sink when one is attached.
+  FaultInjector injector(&engine, &net, &active_faults, options.sim.sink);
+  if (!options.faults.empty()) injector.Schedule(options.faults);
+
+  // Virtual-time maintenance rounds racing everything above. A private
+  // forked stream keeps repair draws out of the churn/workload streams,
+  // so with- and without-maintenance runs of one seed share every other
+  // draw — the comparison the repair-vs-churn acceptance rests on. The
+  // schedule is bounded (rounds through twice the arrival span) rather
+  // than self-rescheduling, so it cannot keep the engine alive forever.
+  const double span_ms =
+      static_cast<double>(options.lookups) * options.arrival_interval_ms;
+  std::vector<MaintenanceRoundRecord> maintenance_rounds;
+  Status maintenance_status;
+  std::unique_ptr<Maintainer> maintainer;
+  std::unique_ptr<Rng> maintenance_rng;
+  if (options.maintenance_cadence_ms > 0.0) {
+    maintainer = std::make_unique<Maintainer>(overlay, options.maintenance);
+    maintenance_rng =
+        std::make_unique<Rng>(options.seed ^ 0x413b8e2d5f7c6a19ULL);
+    Maintainer* m = maintainer.get();
+    Rng* mr = maintenance_rng.get();
+    TraceSink* sink = options.sim.sink;
+    size_t rounds = 0;
+    for (double at = options.maintenance_cadence_ms;
+         at <= 2.0 * span_ms && rounds < 10000;
+         at += options.maintenance_cadence_ms, ++rounds) {
+      engine.ScheduleAt(at, [m, mr, sink, &net, &engine,
+                             &maintenance_rounds, &maintenance_status] {
+        auto round = m->RunRound(&net, mr);
+        if (!round.ok()) {
+          if (maintenance_status.ok()) maintenance_status = round.status();
+          return;
+        }
+        maintenance_rounds.push_back({engine.now(), round.value()});
+        if (sink != nullptr) {
+          TraceEvent event;
+          event.t_us = TraceTimeUs(engine.now());
+          event.kind = TraceKind::kMaintRound;
+          event.lookup = kTraceNone;
+          event.peer = static_cast<uint32_t>(round.value().pruned_links);
+          event.to = static_cast<uint32_t>(round.value().rebuilt_peers);
+          event.info = static_cast<uint32_t>(round.value().sampling_steps);
+          sink->Append(event);
+        }
+      });
+    }
+  }
+
   // Backstop against a runaway handler loop; generously above any
   // legitimate event count (a lookup is a few events per hop).
   const size_t max_events = 200000 + 4000 * options.lookups;
   engine.Run(max_events);
   if (!churn_report.status.ok()) return churn_report.status;
   if (!regional_status.ok()) return regional_status;
+  if (!injector.status().ok()) return injector.status();
+  if (!maintenance_status.ok()) return maintenance_status;
 
   ScenarioResult result;
   result.name = name;
   result.options = options;
   result.report = sim.Report();
-  result.crashed = churn_report.left + regional_crashed;
+  size_t fault_crashed = 0;
+  for (const InjectedFault& fault : injector.injected()) {
+    fault_crashed += fault.crashed;
+  }
+  result.crashed = churn_report.left + regional_crashed + fault_crashed;
   result.joined = churn_report.joined;
   result.events_dispatched = engine.dispatched();
   result.end_ms = engine.now();
+  RecoveryOptions recovery_options;
+  recovery_options.window =
+      options.recovery_window > 0
+          ? options.recovery_window
+          : std::min<size_t>(50, std::max<size_t>(8, options.lookups / 8));
+  recovery_options.threshold = options.recovery_threshold;
+  result.recovery =
+      ComputeRecovery(sim.outcomes(), injector.injected(), recovery_options);
+  result.maintenance = std::move(maintenance_rounds);
+  for (const MaintenanceRoundRecord& round : result.maintenance) {
+    result.maintenance_sampling_steps += round.report.sampling_steps;
+  }
   return result;
 }
 

@@ -15,7 +15,10 @@
 #include "common/status.h"
 #include "core/topology_snapshot.h"
 #include "keyspace/key_distribution.h"
+#include "metrics/recovery_metrics.h"
+#include "overlay/maintenance.h"
 #include "overlay/overlay.h"
+#include "sim/fault_plan.h"
 #include "sim/message_sim.h"
 
 namespace oscar {
@@ -46,16 +49,56 @@ struct ScenarioOptions {
   double regional_crash_at_ms = -1.0;
   double regional_center = 0.25;  // Clockwise start of the doomed segment.
   double regional_span = 0.0;     // Fraction of the unit ring.
+
+  // Injected faults (region crashes, partial partitions, slow bursts)
+  // scheduled in virtual time by a FaultInjector. The hostile scenarios
+  // define their own plans; a caller-supplied plan (the --fault-plan
+  // flag) is injected IN ADDITION to the scenario's.
+  FaultPlan faults;
+
+  // Virtual-time maintenance rounds racing the workload: < 0 lets the
+  // scenario pick (hostile scenarios enable repair, legacy ones don't),
+  // 0 forces maintenance off, > 0 runs Maintainer::RunRound every this
+  // many virtual ms. Rounds draw from a private rng stream, so turning
+  // them on never perturbs the churn or workload draws — the
+  // with/without comparison is apples-to-apples.
+  double maintenance_cadence_ms = -1.0;
+  MaintenanceOptions maintenance;
+
+  // Adversarial hot-key placement: when hot_keys > 0 and this span is
+  // positive, the hot set is drawn uniformly inside the clockwise ring
+  // segment [center, center + span) instead of from the peer
+  // distribution — every popular key lands on one region's owners.
+  double hot_key_region_center = 0.0;
+  double hot_key_region_span = 0.0;
+
+  // Recovery windowing (see metrics/recovery_metrics.h). window == 0
+  // auto-scales to lookups/8, clamped to [8, 50].
+  size_t recovery_window = 0;
+  double recovery_threshold = 0.9;
+};
+
+/// One maintenance round as it ran, in virtual-time order.
+struct MaintenanceRoundRecord {
+  double at_ms = 0.0;
+  MaintenanceReport report;
 };
 
 struct ScenarioResult {
   std::string name;
   ScenarioOptions options;  // As resolved for the run.
   MessageSimReport report;
-  size_t crashed = 0;  // Churn + regional crashes.
+  size_t crashed = 0;  // Churn + regional + fault-plan crashes.
   size_t joined = 0;
   uint64_t events_dispatched = 0;
   SimTime end_ms = 0.0;
+  /// Per-fault recovery records (empty when no faults were injected).
+  RecoveryReport recovery;
+  /// Maintenance rounds that ran, in time order (empty when disabled).
+  std::vector<MaintenanceRoundRecord> maintenance;
+  /// Total repair bandwidth: the sampling-step ledger delta summed over
+  /// all maintenance rounds.
+  uint64_t maintenance_sampling_steps = 0;
 };
 
 /// The named scenarios, in catalog order.

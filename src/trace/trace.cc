@@ -24,6 +24,9 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kServeQueueDepth: return "serve_queue";
     case TraceKind::kServeInFlight: return "serve_busy";
     case TraceKind::kServeDropped: return "serve_dropped";
+    case TraceKind::kMaintRound: return "maint_round";
+    case TraceKind::kFaultInject: return "fault_inject";
+    case TraceKind::kFaultHeal: return "fault_heal";
     case TraceKind::kCount: break;
   }
   return "unknown";

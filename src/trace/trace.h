@@ -47,6 +47,11 @@ enum class TraceKind : uint8_t {
   kServeQueueDepth = 13,  // Wait-queue depth; info = depth.
   kServeInFlight = 14,    // Busy service slots; info = count.
   kServeDropped = 15,     // Cumulative refused; info = dropped, to = shed.
+  // Self-healing instrumentation (fault injection + maintenance rounds).
+  kMaintRound = 16,   // Repair round ran; peer = pruned, to = rebuilt,
+                      // info = sampling steps spent.
+  kFaultInject = 17,  // FaultPlan fault armed; info = fault index.
+  kFaultHeal = 18,    // FaultPlan fault healed; info = fault index.
   kCount,
 };
 

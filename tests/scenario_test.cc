@@ -102,6 +102,55 @@ TEST(ScenarioTest, MessageLossTriggersRetries) {
   EXPECT_GT(run.value().report.lost_messages, 0u);
 }
 
+TEST(ScenarioTest, HostileScenariosReportRecoveryForEveryFault) {
+  const struct {
+    const char* name;
+    size_t faults;
+  } hostile[] = {{"partition-heal", 1},
+                 {"repair-vs-churn", 1},
+                 {"adversarial-hotkeys", 1},
+                 {"cascade-slowdown", 2}};
+  for (const auto& expected : hostile) {
+    auto run = RunScenario(expected.name, TinyScale());
+    ASSERT_TRUE(run.ok()) << expected.name << ": " << run.status();
+    const ScenarioResult& result = run.value();
+    ASSERT_EQ(result.recovery.faults.size(), expected.faults)
+        << expected.name;
+    for (const FaultRecovery& fault : result.recovery.faults) {
+      EXPECT_FALSE(fault.label.empty()) << expected.name;
+      // Every injected fault produces a real dip and a measured
+      // time-to-recover at the catalog seed (0 = never dipped,
+      // -1 = never recovered; both would gut the scenario's point).
+      EXPECT_GT(fault.ttr_ms, 0.0) << expected.name << " " << fault.label;
+      EXPECT_LT(fault.dip, fault.ok_before)
+          << expected.name << " " << fault.label;
+    }
+    // Repair actually ran and spent sampling bandwidth mid-scenario.
+    EXPECT_FALSE(result.maintenance.empty()) << expected.name;
+    EXPECT_GT(result.maintenance_sampling_steps, 0u) << expected.name;
+  }
+}
+
+TEST(ScenarioTest, MaintenanceStrictlyImprovesRepairVsChurn) {
+  for (uint64_t seed : {42u, 43u, 44u, 45u}) {
+    ScenarioOptions with = TinyScale();
+    with.seed = seed;
+    ScenarioOptions without = with;
+    without.maintenance_cadence_ms = 0.0;  // Force repair off.
+    auto healed = RunScenario("repair-vs-churn", with);
+    auto ailing = RunScenario("repair-vs-churn", without);
+    ASSERT_TRUE(healed.ok()) << healed.status();
+    ASSERT_TRUE(ailing.ok()) << ailing.status();
+    // The maintenance rng stream is private, so the two runs share
+    // every churn and workload draw — the only delta is repair.
+    EXPECT_GT(healed.value().report.success_rate,
+              ailing.value().report.success_rate)
+        << "seed " << seed;
+    EXPECT_TRUE(ailing.value().maintenance.empty());
+    EXPECT_FALSE(healed.value().maintenance.empty());
+  }
+}
+
 TEST(ScenarioTest, CrossCheckMatchesSynchronousEngine) {
   for (uint64_t seed : {42u, 43u}) {
     ScenarioOptions base = TinyScale();

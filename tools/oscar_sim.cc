@@ -11,6 +11,17 @@
 //   oscar_sim --queue-cadence-ms N  queue-depth/in-flight timeline
 //                                 sample cadence in virtual ms while
 //                                 tracing (default 10, 0 disables)
+//   oscar_sim --maintenance-cadence-ms N  run Maintainer::RunRound
+//                                 against the live network every N
+//                                 virtual ms mid-scenario (0 forces
+//                                 repair off; unset lets each scenario
+//                                 pick — hostile ones default it on)
+//   oscar_sim --fault-plan SPEC   inject extra faults in virtual time,
+//                                 e.g. 'crash@80:0.2,0.1;partition@
+//                                 100+300:0.0,0.25,0.5,0.25,0.9;slow@
+//                                 200+150:0.6,0.2,25' (see
+//                                 sim/fault_plan.h for the grammar);
+//                                 added on top of the scenario's own plan
 //   oscar_sim --cross-check       verify the message engine reproduces
 //                                 the synchronous engine's per-query hop
 //                                 counts (zero latency, one in flight)
@@ -76,6 +87,7 @@ void PrintUsage(std::ostream& out) {
   out << "usage: oscar_sim [--list] [--cross-check] "
          "[--scenarios a,b,c] [--trace-file out.otrace|out.csv] "
          "[--trace-format csv|otrace] [--queue-cadence-ms N] "
+         "[--maintenance-cadence-ms N] [--fault-plan SPEC] "
          "[scenario ...]\nscenarios:";
   for (const std::string& name : ScenarioCatalog()) {
     out << " " << name;
@@ -117,6 +129,8 @@ int RunCli(const std::vector<std::string>& args) {
   std::string trace_path;
   std::string trace_format;  // "" = decide by extension.
   double queue_cadence_ms = 10.0;
+  double maintenance_cadence_ms = -1.0;  // < 0: scenario decides.
+  FaultPlan extra_faults;
   std::vector<std::string> names;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -189,6 +203,43 @@ int RunCli(const std::vector<std::string>& args) {
                                   "number, got '", value, "'"));
       }
       queue_cadence_ms = parsed;
+    } else if (arg == "--maintenance-cadence-ms" ||
+               arg.rfind("--maintenance-cadence-ms=", 0) == 0) {
+      std::string value;
+      if (arg == "--maintenance-cadence-ms") {
+        if (i + 1 >= args.size()) {
+          return RejectUsage("--maintenance-cadence-ms requires a value");
+        }
+        value = args[++i];
+      } else {
+        value = arg.substr(sizeof("--maintenance-cadence-ms=") - 1);
+      }
+      char* end = nullptr;
+      const double parsed =
+          value.empty() ? -1.0 : std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed < 0.0) {
+        return RejectUsage(StrCat("--maintenance-cadence-ms wants a "
+                                  "non-negative number, got '", value, "'"));
+      }
+      maintenance_cadence_ms = parsed;
+    } else if (arg == "--fault-plan" || arg.rfind("--fault-plan=", 0) == 0) {
+      std::string value;
+      if (arg == "--fault-plan") {
+        if (i + 1 >= args.size()) {
+          return RejectUsage("--fault-plan requires a spec");
+        }
+        value = args[++i];
+      } else {
+        value = arg.substr(sizeof("--fault-plan=") - 1);
+      }
+      auto parsed = ParseFaultPlan(value);
+      if (!parsed.ok()) {
+        return RejectUsage(parsed.status().message());
+      }
+      // Repeats accumulate, like the scenario list.
+      for (FaultSpec& spec : parsed.value().faults) {
+        extra_faults.faults.push_back(std::move(spec));
+      }
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout);
       return 0;
@@ -204,6 +255,8 @@ int RunCli(const std::vector<std::string>& args) {
   base.network_size = scale.target_size;
   base.lookups = scale.queries;
   base.seed = scale.seed;
+  base.maintenance_cadence_ms = maintenance_cadence_ms;
+  base.faults = extra_faults;
 
   if (list) {
     for (const std::string& name : ScenarioCatalog()) {
@@ -279,6 +332,21 @@ int RunCli(const std::vector<std::string>& args) {
   table.SetHeader({"scenario", "n", "lookups", "done", "ok%", "p50_ms",
                    "p95_ms", "hops", "wasted", "msgs", "timeout", "retry",
                    "peak_ifl", "load_p2m", "gini", "crash", "join"});
+  // Recovery per injected fault: windowed success just before the
+  // injection, the worst window after it, the final window, and the
+  // virtual ms until the rate re-crossed threshold×ok_before (0 = never
+  // dipped, `never` = never came back). Printed only when faults fired.
+  TablePrinter recovery_table("recovery (per injected fault)");
+  recovery_table.SetHeader({"scenario", "fault", "at_ms", "heal_ms",
+                            "crashed", "ok_before%", "dip%", "ok_after%",
+                            "ttr_ms", "hops_b", "hops_a"});
+  bool any_recovery = false;
+  // Repair traffic per scenario, aggregated over its maintenance
+  // rounds. Printed only when rounds ran.
+  TablePrinter maintenance_table("maintenance rounds (virtual-time repair)");
+  maintenance_table.SetHeader({"scenario", "rounds", "pruned", "rebuilt",
+                               "refreshed", "samp_steps", "exhausted"});
+  bool any_maintenance = false;
   const auto run_start = std::chrono::steady_clock::now();
   // One scratch network recycled across scenario replays: each
   // RunScenarioOn delta-restores it (repairing only what the previous
@@ -318,6 +386,44 @@ int RunCli(const std::vector<std::string>& args) {
         StrCat(result.crashed),
         StrCat(result.joined),
     });
+    for (const FaultRecovery& rec : result.recovery.faults) {
+      any_recovery = true;
+      recovery_table.AddRow({
+          name,
+          rec.label,
+          FormatDouble(rec.at_ms, 0),
+          rec.heal_ms < 0.0 ? "-" : FormatDouble(rec.heal_ms, 0),
+          StrCat(rec.crashed),
+          FormatDouble(rec.ok_before * 100.0, 1),
+          FormatDouble(rec.dip * 100.0, 1),
+          FormatDouble(rec.ok_after * 100.0, 1),
+          rec.ttr_ms < 0.0 ? "never" : FormatDouble(rec.ttr_ms, 1),
+          FormatDouble(rec.hops_before, 2),
+          FormatDouble(rec.hops_after, 2),
+      });
+    }
+    if (!result.maintenance.empty()) {
+      any_maintenance = true;
+      size_t pruned = 0;
+      size_t rebuilt = 0;
+      size_t refreshed = 0;
+      size_t exhausted = 0;
+      for (const MaintenanceRoundRecord& round : result.maintenance) {
+        pruned += round.report.pruned_links;
+        rebuilt += round.report.rebuilt_peers;
+        refreshed += round.report.refreshed_peers;
+        if (round.report.budget_exhausted) ++exhausted;
+      }
+      maintenance_table.AddRow({
+          name,
+          StrCat(result.maintenance.size()),
+          StrCat(pruned),
+          StrCat(rebuilt),
+          StrCat(refreshed),
+          StrCat(result.maintenance_sampling_steps),
+          StrCat(exhausted),
+      });
+    }
   }
   const double run_s = SecondsSince(run_start);
   if (trace_sink != nullptr) {
@@ -330,6 +436,8 @@ int RunCli(const std::vector<std::string>& args) {
     }
   }
   table.Print(std::cout);
+  if (any_recovery) recovery_table.Print(std::cout);
+  if (any_maintenance) maintenance_table.Print(std::cout);
   std::cerr << "# timing: grow=" << FormatDouble(grow_s, 2) << "s (1 grow, "
             << names.size() << " scenario run"
             << (names.size() == 1 ? "" : "s") << ") run="
